@@ -1,0 +1,149 @@
+// EXP-ABL — design-choice ablations called out in DESIGN.md:
+//   A. spanning-tree degree cap (the Section 2.2 remark: bounded degree is
+//      required for low *individual* complexity)
+//   B. repetition schedule scale (paper constants vs practical)
+//   C. header accounting on/off (pure-information vs engineering-honest)
+//   D. estimator choice (LogLog vs HyperLogLog at equal wire cost)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/core/apx_median.hpp"
+#include "src/core/det_median.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/proto/approx_counting.hpp"
+#include "src/proto/counting_service.hpp"
+#include "src/sketch/loglog.hpp"
+#include "util/experiment.hpp"
+#include "util/table.hpp"
+
+namespace sensornet::bench {
+namespace {
+
+void degree_cap_table() {
+  std::cout << "### A. spanning-tree degree cap (COUNT wave on a single-hop "
+               "deployment, N = 512)\n\n";
+  Table table({"tree", "max degree", "height", "max bits/node",
+               "total bits", "rounds"});
+  const std::size_t n = 512;
+  for (const unsigned cap : {0u, 2u, 3u, 8u}) {
+    sim::Network net(net::make_complete(n), 3);
+    net.set_one_item_per_node(ValueSet(n, 7));
+    const auto tree = cap == 0 ? net::bfs_tree(net.graph(), 0)
+                               : net::capped_bfs_tree(net.graph(), 0, cap);
+    proto::TreeCountingService svc(net, tree);
+    svc.count_all();
+    const auto s = net.summary();
+    table.add_row({cap == 0 ? "BFS (star)" : "capped-" + std::to_string(cap),
+                   std::to_string(tree.max_degree()),
+                   std::to_string(tree.height()), fmt_bits(s.max_node_bits),
+                   fmt_bits(s.total_bits), fmt_bits(s.rounds)});
+  }
+  table.print();
+  std::cout << "(the star's hub pays ~N responses; caps trade latency "
+               "(height) for individual communication — Fact 2.1 needs the "
+               "cap.)\n\n";
+}
+
+void schedule_table() {
+  std::cout << "### B. repetition schedule scale (Fig. 2, N = 64, X = 255, "
+               "eps = 0.25, 10 trials each)\n\n";
+  Table table({"rep_scale", "mean APX_COUNT calls", "max bits/node",
+               "median rank err/N (mean)"});
+  Xoshiro256 rng(11);
+  const std::size_t n = 64;
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, 255, rng);
+  for (const double scale : {1.0, 0.25, 0.05}) {
+    double calls = 0;
+    double err = 0;
+    std::uint64_t bits = 0;
+    constexpr int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      sim::Network net(net::make_line(n), 400 + t);
+      net.set_one_item_per_node(xs);
+      const auto tree = net::bfs_tree(net.graph(), 0);
+      proto::TreeCountingService minmax(net, tree);
+      proto::ApxCountConfig cfg;
+      cfg.registers = 16;
+      proto::TreeApproxCountingService counter(net, tree, cfg);
+      core::ApxSelectionParams params;
+      params.epsilon = 0.25;
+      params.rep_scale = scale;
+      const auto res = core::approx_median(minmax, counter, params);
+      calls += res.apx_count_calls;
+      const double rank =
+          static_cast<double>(rank_below(xs, res.value + 1));
+      err += std::abs(rank - n / 2.0) / n;
+      bits = std::max(bits, net.summary().max_node_bits);
+    }
+    table.add_row({fmt(scale, 2), fmt(calls / 10, 0), fmt_bits(bits),
+                   fmt(err / 10, 3)});
+  }
+  table.print();
+}
+
+void header_table() {
+  std::cout << "### C. header accounting (Fig. 1 median, N = 1024, grid)\n\n";
+  Table table({"accounting", "max bits/node", "total bits"});
+  Deployment d = make_deployment(net::TopologyKind::kGrid, 1024,
+                                 WorkloadKind::kUniform, 1 << 20, 21);
+  proto::TreeCountingService svc(*d.net, d.tree);
+  core::deterministic_median(svc);
+  const auto payload = d.net->summary(false);
+  const auto full = d.net->summary(true);
+  table.add_row({"payload only (paper measure)", fmt_bits(payload.max_node_bits),
+                 fmt_bits(payload.total_bits)});
+  table.add_row({"payload + 24-bit headers", fmt_bits(full.max_node_bits),
+                 fmt_bits(full.total_bits)});
+  table.print();
+}
+
+void estimator_table() {
+  std::cout << "### D. estimator choice at equal wire cost (m = 64, N = "
+               "4096 observations, 30 trials)\n\n";
+  Table table({"estimator", "mean rel. bias", "rel. std dev",
+               "predicted sigma"});
+  Xoshiro256 rng(31);
+  for (const bool hll : {false, true}) {
+    double sum = 0;
+    double sq = 0;
+    constexpr int kTrials = 30;
+    constexpr std::uint64_t kTruth = 4096;
+    for (int t = 0; t < kTrials; ++t) {
+      sketch::RegisterArray regs(64, 6);
+      for (std::uint64_t i = 0; i < kTruth; ++i) {
+        sketch::observe_random(regs, rng);
+      }
+      const double est = hll ? sketch::hyperloglog_estimate(regs)
+                             : sketch::loglog_estimate(regs);
+      const double rel = est / static_cast<double>(kTruth) - 1.0;
+      sum += rel;
+      sq += rel * rel;
+    }
+    const double mean = sum / 30;
+    table.add_row({hll ? "HyperLogLog" : "LogLog", fmt(mean, 4),
+                   fmt(std::sqrt(sq / 30 - mean * mean), 4),
+                   fmt(hll ? sketch::hyperloglog_sigma(64)
+                           : sketch::loglog_sigma(64),
+                       4)});
+  }
+  table.print();
+}
+
+void run() {
+  print_banner("EXP-ABL", "design ablations",
+               "degree caps, repetition schedules, header accounting, and "
+               "estimator choice — each knob isolated");
+  degree_cap_table();
+  schedule_table();
+  header_table();
+  estimator_table();
+}
+
+}  // namespace
+}  // namespace sensornet::bench
+
+int main() {
+  sensornet::bench::run();
+  return 0;
+}

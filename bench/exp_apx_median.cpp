@@ -1,0 +1,104 @@
+// EXP-T45 — Theorem 4.5: Fig. 2 outputs an (alpha, beta)-median with
+// alpha = 3 sigma, beta = 1/N, w.p. >= 1 - epsilon. Success-rate table over
+// epsilon, plus the bits-vs-epsilon cost curve (comm ~ 1/eps).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/mathutil.hpp"
+#include "src/core/apx_median.hpp"
+#include "src/proto/counting_service.hpp"
+#include "util/experiment.hpp"
+#include "util/table.hpp"
+
+namespace sensornet::bench {
+namespace {
+
+bool is_apx_median(const ValueSet& xs, Value y, double alpha, double beta) {
+  const double k = static_cast<double>(xs.size()) / 2.0;
+  const Value max_x = *std::max_element(xs.begin(), xs.end());
+  const auto tol =
+      static_cast<Value>(std::ceil(beta * static_cast<double>(max_x)));
+  for (Value yp = y - tol; yp <= y + tol; ++yp) {
+    const double lo = static_cast<double>(rank_below(xs, yp));
+    const double hi = static_cast<double>(rank_below(xs, yp + 1));
+    if (lo < k * (1 + alpha) && hi >= k * (1 - alpha)) return true;
+  }
+  return false;
+}
+
+void run() {
+  print_banner(
+      "EXP-T45", "Theorem 4.5",
+      "Fig. 2 returns an (alpha=3sigma, beta=1/N)-median w.p. >= 1-eps; "
+      "invocations (and bits) scale with 1/eps via the ceil(2q)/ceil(32q) "
+      "repetition schedule, q = log(M-m)/eps");
+
+  const std::size_t n = 32;
+  const Value X = 63;  // small range keeps the paper schedule affordable
+  Xoshiro256 wl_rng(5);
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, X, wl_rng);
+
+  Table table({"epsilon", "trials", "success rate", "required (1-eps)",
+               "halted early", "APX_COUNT calls/run", "max bits/node/run"});
+  for (const double eps : {0.5, 0.25, 0.125}) {
+    constexpr int kTrials = 12;
+    int success = 0;
+    int halted = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t bits = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      sim::Network net(net::make_line(n), 9000 + t);
+      net.set_one_item_per_node(xs);
+      const auto tree = net::bfs_tree(net.graph(), 0);
+      proto::TreeCountingService minmax(net, tree);
+      proto::ApxCountConfig cfg;
+      cfg.registers = 16;
+      proto::TreeApproxCountingService counter(net, tree, cfg);
+      core::ApxSelectionParams params;
+      params.epsilon = eps;
+      const auto res = core::approx_median(minmax, counter, params);
+      const double alpha = 3.0 * counter.sigma();
+      if (is_apx_median(xs, res.value, alpha, 1.0 / n)) ++success;
+      if (res.halted_early) ++halted;
+      calls += res.apx_count_calls;
+      bits = std::max(bits, net.summary().max_node_bits);
+    }
+    table.add_row({fmt(eps, 3), std::to_string(kTrials),
+                   fmt(static_cast<double>(success) / kTrials, 2),
+                   fmt(1.0 - eps, 2), std::to_string(halted),
+                   fmt_bits(calls / kTrials), fmt_bits(bits)});
+  }
+  table.print();
+
+  // Cost model check: invocations per run = ceil(2q) + iters * ceil(32q).
+  Table sched({"epsilon", "q", "ceil(2q)", "ceil(32q)", "measured calls",
+               "predicted (no early halt)"});
+  for (const double eps : {0.5, 0.25}) {
+    sim::Network net(net::make_line(n), 123);
+    net.set_one_item_per_node(xs);
+    const auto tree = net::bfs_tree(net.graph(), 0);
+    proto::TreeCountingService minmax(net, tree);
+    proto::ApxCountConfig cfg;
+    cfg.registers = 16;
+    proto::TreeApproxCountingService counter(net, tree, cfg);
+    core::ApxSelectionParams params;
+    params.epsilon = eps;
+    const auto res = core::approx_median(minmax, counter, params);
+    const double q = std::log2(static_cast<double>(X)) / eps;
+    const auto r2 = static_cast<std::uint64_t>(std::ceil(2 * q));
+    const auto r32 = static_cast<std::uint64_t>(std::ceil(32 * q));
+    sched.add_row({fmt(eps, 3), fmt(q, 1), fmt_bits(r2), fmt_bits(r32),
+                   fmt_bits(res.apx_count_calls),
+                   fmt_bits(r2 + res.iterations * r32)});
+  }
+  sched.print();
+}
+
+}  // namespace
+}  // namespace sensornet::bench
+
+int main() {
+  sensornet::bench::run();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// EXP-T51 — Theorem 5.1 and its contrast: exact COUNT_DISTINCT communicates
+// linearly in the distinct count (and the constructive 2SD reduction's cut
+// bits grow linearly in n), while hashed-LogLog approximation is flat in D
+// and lands within (1 +- 3.15/k) of the truth with ~99% probability.
+#include <cmath>
+#include <cstdint>
+
+#include "src/core/count_distinct.hpp"
+#include "src/core/disjointness.hpp"
+#include "util/experiment.hpp"
+#include "util/table.hpp"
+
+namespace sensornet::bench {
+namespace {
+
+void linear_vs_flat_table() {
+  Table table({"N", "distinct D", "exact bits/node", "approx bits/node (m=64)",
+               "exact/approx"});
+  Xoshiro256 rng(3);
+  const std::size_t n = 1024;
+  for (const std::size_t d : {8UL, 64UL, 256UL, 1024UL}) {
+    const ValueSet xs = generate_with_distinct(n, d, 1 << 22, rng);
+    std::uint64_t exact_bits = 0;
+    std::uint64_t approx_bits = 0;
+    {
+      sim::Network net(net::make_line(n), 5);
+      net.set_one_item_per_node(xs);
+      const auto tree = net::bfs_tree(net.graph(), 0);
+      exact_bits = core::exact_count_distinct(net, tree).max_node_bits;
+    }
+    {
+      sim::Network net(net::make_line(n), 5);
+      net.set_one_item_per_node(xs);
+      const auto tree = net::bfs_tree(net.graph(), 0);
+      approx_bits =
+          core::approx_count_distinct(net, tree, 64,
+                                      proto::EstimatorKind::kHyperLogLog)
+              .max_node_bits;
+    }
+    table.add_row({std::to_string(n), std::to_string(d), fmt_bits(exact_bits),
+                   fmt_bits(approx_bits),
+                   fmt(static_cast<double>(exact_bits) /
+                       static_cast<double>(approx_bits))});
+  }
+  table.print();
+}
+
+void approx_accuracy_table() {
+  // Paper: k^2 loglog n bits, within (1 +- 3.15/k) w.p. 99%.
+  Table table({"k", "m = k^2", "tolerance 3.15/k", "trials",
+               "within tolerance", "mean |rel err|"});
+  Xoshiro256 rng(7);
+  const std::size_t n = 512;
+  const std::size_t d = 300;
+  for (const unsigned k : {4u, 8u, 16u}) {
+    const unsigned m = k * k;
+    constexpr int kTrials = 20;
+    int within = 0;
+    double sum_err = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const ValueSet xs = generate_with_distinct(n, d, 1 << 24, rng);
+      sim::Network net(net::make_line(n), 100 + t);
+      net.set_one_item_per_node(xs);
+      const auto tree = net::bfs_tree(net.graph(), 0);
+      const auto res = core::approx_count_distinct(
+          net, tree, m, proto::EstimatorKind::kHyperLogLog);
+      const double rel =
+          std::abs(res.estimate - static_cast<double>(d)) /
+          static_cast<double>(d);
+      sum_err += rel;
+      if (rel <= 3.15 / k) ++within;
+    }
+    table.add_row({std::to_string(k), std::to_string(m), fmt(3.15 / k, 3),
+                   std::to_string(kTrials), std::to_string(within),
+                   fmt(sum_err / kTrials, 4)});
+  }
+  table.print();
+}
+
+void reduction_table() {
+  Table table({"per-side n", "instance", "declared", "cut bits",
+               "cut bits / n", "max bits/node"});
+  Xoshiro256 rng(11);
+  for (const std::size_t per_side : {16UL, 64UL, 256UL, 1024UL}) {
+    for (const bool disjoint : {true, false}) {
+      const auto inst = generate_disjointness(
+          per_side, disjoint ? 0 : per_side / 4, 1 << 24, rng);
+      const auto rep = core::solve_disjointness_via_count_distinct(
+          inst.side_a, inst.side_b);
+      table.add_row(
+          {std::to_string(per_side), disjoint ? "disjoint" : "overlapping",
+           rep.declared_disjoint ? "disjoint" : "overlapping",
+           fmt_bits(rep.cut_bits),
+           fmt(static_cast<double>(rep.cut_bits) /
+               static_cast<double>(per_side)),
+           fmt_bits(rep.max_node_bits)});
+    }
+  }
+  table.print();
+  std::cout << "(cut bits / n approaching a constant ~= value-entropy "
+               "confirms the Omega(n) information flow across the A|B "
+               "cut that Theorem 5.1's reduction forces.)\n\n";
+}
+
+void run() {
+  print_banner(
+      "EXP-T51", "Theorem 5.1 + Section 5",
+      "exact COUNT_DISTINCT is linear in D (and the 2SD reduction moves "
+      "Omega(n) bits across the cut); hashed-LogLog approximation is flat "
+      "in D and within (1 +- 3.15/k) w.p. ~99%");
+  linear_vs_flat_table();
+  approx_accuracy_table();
+  reduction_table();
+}
+
+}  // namespace
+}  // namespace sensornet::bench
+
+int main() {
+  sensornet::bench::run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// EXP-F21 — Fact 2.1: MIN / MAX / COUNT cost O(log N) bits per node over a
+// bounded-degree spanning tree. The bits/log2(N) ratio column must stay
+// roughly flat as N grows 64x.
+#include <cstdint>
+
+#include "src/common/mathutil.hpp"
+#include "src/proto/counting_service.hpp"
+#include "util/experiment.hpp"
+#include "util/table.hpp"
+
+namespace sensornet::bench {
+namespace {
+
+void run() {
+  print_banner("EXP-F21", "Fact 2.1",
+               "MIN/MAX/COUNT need O(log N) bits per node on bounded-degree "
+               "trees; bits / log2(N) stays flat as N grows");
+
+  for (const auto topology :
+       {net::TopologyKind::kLine, net::TopologyKind::kGrid,
+        net::TopologyKind::kGeometric}) {
+    Table table({"topology", "N", "tree height", "MIN bits/node",
+                 "MAX bits/node", "COUNT bits/node", "COUNT bits / log2 N"});
+    for (const std::size_t n : {64UL, 256UL, 1024UL, 4096UL}) {
+      Deployment d = make_deployment(topology, n, WorkloadKind::kUniform,
+                                     static_cast<Value>(n * n), 42 + n);
+      const std::size_t actual = d.net->node_count();
+      proto::TreeCountingService svc(*d.net, d.tree);
+
+      auto before = d.net->all_stats();
+      svc.min_value();
+      const std::uint64_t min_bits = window_max_node_bits(*d.net, before);
+
+      before = d.net->all_stats();
+      svc.max_value();
+      const std::uint64_t max_bits = window_max_node_bits(*d.net, before);
+
+      before = d.net->all_stats();
+      svc.count_all();
+      const std::uint64_t count_bits = window_max_node_bits(*d.net, before);
+
+      table.add_row({net::topology_name(topology), std::to_string(actual),
+                     std::to_string(d.tree.height()), fmt_bits(min_bits),
+                     fmt_bits(max_bits), fmt_bits(count_bits),
+                     fmt(static_cast<double>(count_bits) /
+                         static_cast<double>(ceil_log2(actual)))});
+    }
+    table.print();
+  }
+}
+
+}  // namespace
+}  // namespace sensornet::bench
+
+int main() {
+  sensornet::bench::run();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// EXP-ROBUST — the robustness discussion of Section 2.2 / [2] / [10]:
+// spanning-tree aggregation is fragile (one lost response deletes a
+// subtree / stalls the wave), duplicate-insensitive multipath degrades
+// gracefully, and gossip needs no structure at all — each at its own bit
+// price. This experiment injects message loss and measures who still
+// answers, how well, and at what cost.
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/error.hpp"
+#include "src/proto/counting_service.hpp"
+#include "src/proto/gossip.hpp"
+#include "src/proto/multipath.hpp"
+#include "src/proto/tree_wave.hpp"
+#include "src/sketch/loglog.hpp"
+#include "util/experiment.hpp"
+#include "util/table.hpp"
+
+namespace sensornet::bench {
+namespace {
+
+void loss_sweep() {
+  Table table({"loss", "tree wave", "multipath estimate", "coverage",
+               "multipath bits/node", "gossip estimate", "gossip bits/node"});
+  const std::size_t n = 144;  // 12x12 grid
+  constexpr double kTruth = 144.0;
+  for (const double loss : {0.0, 0.05, 0.15, 0.30}) {
+    // Tree wave: does it complete at all?
+    std::string tree_outcome;
+    {
+      Deployment d = make_deployment(net::TopologyKind::kGrid, n,
+                                     WorkloadKind::kUniform, 1 << 12, 42);
+      d.net->set_message_loss(loss);
+      proto::LogLogAgg::Request req;
+      req.registers = 128;
+      req.width = 6;
+      proto::TreeWave<proto::LogLogAgg> wave(d.tree, 1);
+      try {
+        const auto regs = wave.execute(*d.net, req);
+        tree_outcome =
+            "ok (" + fmt(sketch::hyperloglog_estimate(regs), 0) + ")";
+      } catch (const ProtocolError&) {
+        tree_outcome = "STALLED";
+      }
+    }
+    // Multipath sweep.
+    double mp_est = 0;
+    std::size_t covered = 0;
+    std::uint64_t mp_bits = 0;
+    {
+      Deployment d = make_deployment(net::TopologyKind::kGrid, n,
+                                     WorkloadKind::kUniform, 1 << 12, 42);
+      d.net->set_message_loss(loss);
+      proto::LogLogAgg::Request req;
+      req.registers = 128;
+      req.width = 6;
+      const auto res = proto::multipath_loglog_sweep(*d.net, 0, req);
+      mp_est = sketch::hyperloglog_estimate(res.registers);
+      covered = res.covered_nodes;
+      mp_bits = d.net->summary().max_node_bits;
+    }
+    // Gossip needs rounds ~ mixing time; a 12x12 grid mixes in O(n) rounds
+    // (the "diffusion speed" caveat the paper quotes about [6]), so this
+    // column runs 600 rounds. Lost mass biases push-sum downward.
+    double gossip_est = 0;
+    std::uint64_t gossip_bits = 0;
+    {
+      Deployment d = make_deployment(net::TopologyKind::kGrid, n,
+                                     WorkloadKind::kUniform, 1 << 12, 42);
+      d.net->set_message_loss(loss);
+      gossip_est = proto::gossip_count(*d.net, 0, 600).root_estimate;
+      gossip_bits = d.net->summary().max_node_bits;
+    }
+    table.add_row({fmt(loss, 2), tree_outcome, fmt(mp_est, 0),
+                   std::to_string(covered) + "/" + std::to_string(n),
+                   fmt_bits(mp_bits), fmt(gossip_est, 0),
+                   fmt_bits(gossip_bits)});
+  }
+  table.print();
+  std::cout << "(truth = " << fmt(kTruth, 0)
+            << ". Gossip under loss drops conserved mass, biasing the "
+               "estimate down — push-sum assumes reliable channels; "
+               "multipath's ODI registers only need one surviving path "
+               "per contribution.)\n\n";
+}
+
+void structure_cost_table() {
+  std::cout << "### structure and diffusion speed (no loss, truth 256)\n\n";
+  Table table({"protocol", "graph", "rounds", "estimate", "max bits/node",
+               "needs tree?"});
+  const std::size_t n = 256;
+  {
+    Deployment d = make_deployment(net::TopologyKind::kGrid, n,
+                                   WorkloadKind::kUniform, 1 << 12, 7);
+    proto::TreeCountingService svc(*d.net, d.tree);
+    const auto c = svc.count_all();
+    table.add_row({"tree COUNT (Fact 2.1)", "grid", "2h",
+                   std::to_string(c),
+                   fmt_bits(d.net->summary().max_node_bits), "yes"});
+  }
+  {
+    Deployment d = make_deployment(net::TopologyKind::kGrid, n,
+                                   WorkloadKind::kUniform, 1 << 12, 7);
+    proto::LogLogAgg::Request req;
+    req.registers = 128;
+    req.width = 6;
+    const auto res = proto::multipath_loglog_sweep(*d.net, 0, req);
+    table.add_row({"multipath LogLog (Fact 2.2 + [2])", "grid", "h",
+                   fmt(sketch::hyperloglog_estimate(res.registers), 0),
+                   fmt_bits(d.net->summary().max_node_bits), "no"});
+  }
+  // Push-sum's round budget is the mixing time: ~O(log N) on a complete
+  // graph, ~O(N) on a grid — the "best possible diffusion speed" assumption
+  // the paper quotes about [6], made concrete.
+  {
+    Deployment d = make_deployment(net::TopologyKind::kComplete, n,
+                                   WorkloadKind::kUniform, 1 << 12, 7);
+    const auto res = proto::gossip_count(*d.net, 0, 48);
+    table.add_row({"push-sum gossip [6]", "complete", "48",
+                   fmt(res.root_estimate, 0),
+                   fmt_bits(d.net->summary().max_node_bits), "no"});
+  }
+  for (const unsigned rounds : {80u, 800u}) {
+    Deployment d = make_deployment(net::TopologyKind::kGrid, n,
+                                   WorkloadKind::kUniform, 1 << 12, 7);
+    const auto res = proto::gossip_count(*d.net, 0, rounds);
+    table.add_row({"push-sum gossip [6]", "grid", std::to_string(rounds),
+                   fmt(res.root_estimate, 0),
+                   fmt_bits(d.net->summary().max_node_bits), "no"});
+  }
+  table.print();
+}
+
+void run() {
+  print_banner("EXP-ROBUST", "Section 2.2 remark + [2]/[6]/[10]",
+               "trees are cheap but fragile; ODI multipath pays redundancy "
+               "for loss-tolerance; gossip needs no structure but more "
+               "rounds — measured under injected message loss");
+  loss_sweep();
+  structure_cost_table();
+}
+
+}  // namespace
+}  // namespace sensornet::bench
+
+int main() {
+  sensornet::bench::run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// EXP-FIG3 — Figure 3: the zoom step of APX_MEDIAN2 visualized. One verbose
+// run printing, per stage, the hat-domain order statistic mu-hat, the
+// original-domain interval it implies, and an ASCII picture of the interval
+// shrinking onto the median.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "src/common/mathutil.hpp"
+#include "src/core/apx_median2.hpp"
+#include "util/experiment.hpp"
+#include "util/table.hpp"
+
+namespace sensornet::bench {
+namespace {
+
+std::string ascii_interval(Value lo, Value hi, Value x_max, Value median) {
+  constexpr int kWidth = 64;
+  std::string line(kWidth, '.');
+  const auto pos = [&](Value v) {
+    return static_cast<int>((static_cast<double>(v) /
+                             static_cast<double>(x_max)) *
+                            (kWidth - 1));
+  };
+  for (int i = pos(lo); i <= pos(hi); ++i) {
+    line[static_cast<std::size_t>(i)] = '#';
+  }
+  line[static_cast<std::size_t>(pos(median))] = 'M';
+  return line;
+}
+
+void run() {
+  print_banner("EXP-FIG3", "Figure 3",
+               "each stage pins the median into a dyadic interval of the "
+               "current domain, rescales it onto [1, X] and recurses; the "
+               "original-domain interval (#) zooms onto the median (M)");
+
+  const std::size_t n = 512;
+  const Value X = 1 << 20;
+  // Uniform readings: no value mass straddles a dyadic boundary, so the
+  // zoom's per-stage bucket choice is unambiguous and the picture is clean.
+  // (Clustered fields whose bumps sit exactly on a power of two exercise the
+  // alpha-amplification case instead — see EXP-C48's accuracy table.)
+  Deployment d = make_deployment(net::TopologyKind::kGrid, n,
+                                 WorkloadKind::kUniform, X, 2024);
+  const Value median = reference_median(d.items);
+
+  core::ApxMedian2Params params;
+  params.beta = 1.0 / 4096;
+  params.epsilon = 0.25;
+  params.rep_scale = 0.2;
+  params.registers = 64;
+  params.max_value_bound = X;
+  const auto res = core::approx_median2(*d.net, d.tree, params);
+
+  Table table({"stage", "mu-hat", "interval (original domain)", "width / X",
+               "rank target k"});
+  for (const auto& st : res.trace) {
+    table.add_row(
+        {std::to_string(st.stage), std::to_string(st.mu_hat),
+         "[" + std::to_string(st.interval_lo) + ", " +
+             std::to_string(st.interval_hi) + "]",
+         fmt(static_cast<double>(st.interval_hi - st.interval_lo) /
+                 static_cast<double>(X),
+             6),
+         fmt(st.k, 1)});
+  }
+  table.print();
+
+  const double rank = static_cast<double>(rank_below(d.items, res.value + 1));
+  std::cout << "true median = " << median << ", returned = " << res.value
+            << " (rank " << rank << "/" << d.items.size()
+            << "; Theorem 4.7's alpha grows by O(sigma) per stage, so a few "
+               "percent of rank drift over "
+            << res.stages << " stages is the predicted behaviour)\n\n";
+  for (const auto& st : res.trace) {
+    std::cout << "stage " << st.stage << "  "
+              << ascii_interval(st.interval_lo, st.interval_hi, X, median)
+              << "\n";
+  }
+  std::cout << "\nmax bits/node this run: "
+            << fmt_bits(d.net->summary().max_node_bits) << "\n";
+}
+
+}  // namespace
+}  // namespace sensornet::bench
+
+int main() {
+  sensornet::bench::run();
+  return 0;
+}

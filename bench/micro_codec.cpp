@@ -1,0 +1,91 @@
+// Microbenchmarks: bit I/O, Elias codecs, and a full aggregation wave
+// (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "src/common/codec.hpp"
+#include "src/common/rng.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/aggregations.hpp"
+#include "src/proto/tree_wave.hpp"
+
+namespace {
+
+using namespace sensornet;
+
+void BM_BitWriterChunks(benchmark::State& state) {
+  for (auto _ : state) {
+    BitWriter w;
+    for (int i = 0; i < 64; ++i) {
+      w.write_bits(0xABCDEF0123456789ULL, 37);
+    }
+    benchmark::DoNotOptimize(w.bytes());
+  }
+}
+BENCHMARK(BM_BitWriterChunks);
+
+void BM_EliasDeltaRoundTrip(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> values(256);
+  for (auto& v : values) v = (rng.next_u64() >> rng.next_below(60)) | 1;
+  for (auto _ : state) {
+    BitWriter w;
+    for (const auto v : values) elias_delta_encode(w, v);
+    BitReader r(w.bytes().data(), w.bit_count());
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sink ^= elias_delta_decode(r);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EliasDeltaRoundTrip);
+
+void BM_PredicateRoundTrip(benchmark::State& state) {
+  const auto pred = proto::Predicate::less_than(123456);
+  for (auto _ : state) {
+    BitWriter w;
+    pred.encode(w);
+    BitReader r(w.bytes().data(), w.bit_count());
+    auto back = proto::Predicate::decode(r);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_PredicateRoundTrip);
+
+void BM_CountWave(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Network net(net::make_line(n), 7);
+  net.set_one_item_per_node(ValueSet(n, 5));
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  std::uint32_t session = 0;
+  for (auto _ : state) {
+    proto::TreeWave<proto::CountAgg> wave(tree, session++);
+    const auto c = wave.execute(
+        net, proto::CountAgg::Request{proto::Predicate::always_true()});
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CountWave)->Arg(64)->Arg(1024);
+
+void BM_LogLogWave(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Network net(net::make_line(n), 7);
+  net.set_one_item_per_node(ValueSet(n, 5));
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  proto::LogLogAgg::Request req;
+  req.registers = 64;
+  req.width = 6;
+  std::uint32_t session = 0;
+  for (auto _ : state) {
+    proto::TreeWave<proto::LogLogAgg> wave(tree, session++);
+    const auto regs = wave.execute(net, req);
+    benchmark::DoNotOptimize(regs);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LogLogWave)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Microbenchmarks: sketch update/merge/estimate throughput (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/sketch/loglog.hpp"
+#include "src/sketch/registers.hpp"
+
+namespace {
+
+using sensornet::Xoshiro256;
+using sensornet::sketch::RegisterArray;
+
+void BM_ObserveRandom(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  RegisterArray regs(m, 6);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    sensornet::sketch::observe_random(regs, rng);
+    benchmark::DoNotOptimize(regs);
+  }
+}
+BENCHMARK(BM_ObserveRandom)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_ObserveHashed(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  RegisterArray regs(m, 6);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    sensornet::sketch::observe_hashed(regs, ++v, 7);
+    benchmark::DoNotOptimize(regs);
+  }
+}
+BENCHMARK(BM_ObserveHashed)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_Merge(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  RegisterArray a(m, 6);
+  RegisterArray b(m, 6);
+  Xoshiro256 rng(2);
+  for (unsigned i = 0; i < 4 * m; ++i) {
+    sensornet::sketch::observe_random(a, rng);
+    sensornet::sketch::observe_random(b, rng);
+  }
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Merge)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_Estimate(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  RegisterArray regs(m, 6);
+  Xoshiro256 rng(3);
+  for (unsigned i = 0; i < 64 * m; ++i) {
+    sensornet::sketch::observe_random(regs, rng);
+  }
+  const bool hll = state.range(1) != 0;
+  for (auto _ : state) {
+    const double e = hll ? sensornet::sketch::hyperloglog_estimate(regs)
+                         : sensornet::sketch::loglog_estimate(regs);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_Estimate)->Args({256, 0})->Args({256, 1});
+
+void BM_EncodeDecode(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  RegisterArray regs(m, 6);
+  Xoshiro256 rng(4);
+  for (unsigned i = 0; i < 4 * m; ++i) {
+    sensornet::sketch::observe_random(regs, rng);
+  }
+  for (auto _ : state) {
+    sensornet::BitWriter w;
+    regs.encode(w);
+    sensornet::BitReader r(w.bytes().data(), w.bit_count());
+    auto back = RegisterArray::decode(r, m, 6);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_EncodeDecode)->Arg(16)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+#include "util/experiment.hpp"
+
+#include <algorithm>
+
+namespace sensornet::bench {
+
+Deployment make_deployment(net::TopologyKind topology, std::size_t n,
+                           WorkloadKind workload, Value max_value,
+                           std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  net::Graph graph = net::make_topology(topology, n, rng);
+  const std::size_t actual = graph.node_count();
+  Deployment d;
+  d.items = generate_workload(workload, actual, max_value, rng);
+  d.net = std::make_unique<sim::Network>(std::move(graph), seed ^ 0x9e37);
+  d.net->set_one_item_per_node(d.items);
+  d.tree = net::bfs_tree(d.net->graph(), 0);
+  return d;
+}
+
+std::uint64_t window_max_node_bits(
+    const sim::Network& net, const std::vector<sim::NodeCommStats>& before) {
+  std::uint64_t best = 0;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    const auto& now = net.stats(u);
+    const std::uint64_t bits =
+        (now.payload_bits_sent - before[u].payload_bits_sent) +
+        (now.payload_bits_received - before[u].payload_bits_received);
+    best = std::max(best, bits);
+  }
+  return best;
+}
+
+}  // namespace sensornet::bench

@@ -1,0 +1,31 @@
+// Shared experiment plumbing: deployments and measurement windows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/workload.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::bench {
+
+/// A loaded network plus its aggregation tree.
+struct Deployment {
+  std::unique_ptr<sim::Network> net;
+  net::SpanningTree tree;
+  ValueSet items;  // flattened ground truth (one per node)
+};
+
+/// Builds a topology of ~n nodes, loads one reading per node from the
+/// workload, roots the tree at node 0.
+Deployment make_deployment(net::TopologyKind topology, std::size_t n,
+                           WorkloadKind workload, Value max_value,
+                           std::uint64_t seed);
+
+/// Max bits (sent+received) any node paid between two snapshots.
+std::uint64_t window_max_node_bits(
+    const sim::Network& net, const std::vector<sim::NodeCommStats>& before);
+
+}  // namespace sensornet::bench

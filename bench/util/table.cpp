@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace sensornet::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (const auto w : widths) {
+    os << std::string(w + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << "\n";
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_bits(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void print_banner(const std::string& id, const std::string& anchor,
+                  const std::string& claim) {
+  std::cout << "\n## " << id << " — " << anchor << "\n\n"
+            << "Claim: " << claim << "\n\n";
+}
+
+}  // namespace sensornet::bench

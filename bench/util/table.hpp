@@ -1,0 +1,35 @@
+// Markdown table rendering for the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace sensornet::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Renders an aligned GitHub-flavoured Markdown table.
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double.
+std::string fmt(double v, int precision = 2);
+
+/// Integer with thousands separators (1234567 -> "1,234,567").
+std::string fmt_bits(std::uint64_t v);
+
+/// Experiment banner: id, paper anchor, one-line claim.
+void print_banner(const std::string& id, const std::string& anchor,
+                  const std::string& claim);
+
+}  // namespace sensornet::bench

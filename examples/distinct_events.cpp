@@ -1,0 +1,59 @@
+// Distinct-event counting: motes log event type identifiers (many
+// duplicates). Exact distinct counting pays linearly at the bottleneck;
+// hashed-LogLog pays a fixed sketch. Also demonstrates Theorem 5.1's
+// reduction: answering set-disjointness through COUNT_DISTINCT.
+//
+//   $ ./distinct_events
+#include <cmath>
+#include <iostream>
+
+#include "src/common/workload.hpp"
+#include "src/core/count_distinct.hpp"
+#include "src/core/disjointness.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/network.hpp"
+
+int main() {
+  using namespace sensornet;
+  Xoshiro256 rng(5);
+
+  std::cout << "=== exact vs approximate COUNT_DISTINCT ===\n";
+  const std::size_t motes = 600;
+  for (const std::size_t distinct : {12UL, 120UL, 600UL}) {
+    const ValueSet events =
+        generate_with_distinct(motes, distinct, 1 << 24, rng);
+
+    sim::Network net(net::make_grid(20, 30), 11);
+    net.set_one_item_per_node(events);
+    const auto tree = net::bfs_tree(net.graph(), 0);
+
+    const auto exact = core::exact_count_distinct(net, tree);
+    const auto approx = core::approx_count_distinct(
+        net, tree, 256, proto::EstimatorKind::kHyperLogLog);
+
+    std::cout << "true D=" << distinct << "  exact=" << exact.distinct
+              << " (bottleneck " << exact.max_node_bits << " bits)"
+              << "  approx=" << std::llround(approx.estimate)
+              << " (bottleneck " << approx.max_node_bits
+              << " bits, expected sigma "
+              << approx.expected_sigma * 100 << "%)\n";
+  }
+
+  std::cout << "\n=== Theorem 5.1: set disjointness through COUNT_DISTINCT "
+               "===\n";
+  std::cout << "two field stations each observed 200 event ids; are the "
+               "observation sets disjoint?\n";
+  for (const std::size_t shared : {0UL, 1UL, 50UL}) {
+    const auto inst = generate_disjointness(200, shared, 1 << 24, rng);
+    const auto rep =
+        core::solve_disjointness_via_count_distinct(inst.side_a, inst.side_b);
+    std::cout << "  shared=" << shared << " -> declared "
+              << (rep.declared_disjoint ? "DISJOINT" : "OVERLAPPING")
+              << " (distinct=" << rep.distinct_count << ", bits across the "
+              << "station boundary: " << rep.cut_bits << ")\n";
+  }
+  std::cout << "note: one shared id flips the answer — that sensitivity is "
+               "exactly why exact COUNT_DISTINCT cannot be cheap (Omega(n)).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "src/baseline/gk_median.hpp"
+
+#include "src/common/error.hpp"
+#include "src/baseline/quantile_summary.hpp"
+#include "src/common/codec.hpp"
+#include "src/proto/item_view.hpp"
+#include "src/proto/tree_wave.hpp"
+
+namespace sensornet::baseline {
+
+namespace {
+
+/// Aggregation spec: partial = pruned quantile summary.
+struct GkAgg {
+  struct Request {
+    std::uint16_t max_entries = 16;
+  };
+  using Partial = QuantileSummary;
+
+  static void encode_request(BitWriter& w, const Request& req) {
+    encode_uint(w, req.max_entries);
+  }
+  static Request decode_request(BitReader& r) {
+    return Request{static_cast<std::uint16_t>(decode_uint(r))};
+  }
+  static void encode_partial(BitWriter& w, const Partial& p, const Request&) {
+    p.encode(w);
+  }
+  static Partial decode_partial(BitReader& r, const Request&) {
+    return QuantileSummary::decode(r);
+  }
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const proto::LocalItemView& view) {
+    return QuantileSummary::from_items(view.items(net, node))
+        .pruned(req.max_entries);
+  }
+  static void combine(Partial& acc, const Partial& in, const Request& req) {
+    acc = QuantileSummary::merged(acc, in).pruned(req.max_entries);
+  }
+};
+
+}  // namespace
+
+GkMedianResult gk_median(sim::Network& net, const net::SpanningTree& tree,
+                         std::size_t max_entries) {
+  SENSORNET_EXPECTS(max_entries >= 2 && max_entries <= 0xFFFF);
+  proto::TreeWave<GkAgg> wave(tree, /*session=*/0x7300);
+  const QuantileSummary summary = wave.execute(
+      net, GkAgg::Request{static_cast<std::uint16_t>(max_entries)});
+  if (summary.total() == 0) {
+    throw PreconditionError("median of an empty input");
+  }
+  GkMedianResult res;
+  res.population = summary.total();
+  // Definition 2.3's median is the rank-ceil(N/2) element.
+  const std::uint64_t rank = (summary.total() + 1) / 2;
+  res.median = *summary.query_rank(rank);
+  res.rank_uncertainty = summary.max_rank_gap();
+  res.root_summary_entries = summary.entry_count();
+  return res;
+}
+
+}  // namespace sensornet::baseline

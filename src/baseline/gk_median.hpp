@@ -1,0 +1,25 @@
+// Median via one quantile-summary aggregation wave (the [4] comparator).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::baseline {
+
+struct GkMedianResult {
+  Value median = 0;
+  std::uint64_t population = 0;
+  /// Worst-case rank error certified by the root summary's own bounds.
+  std::uint64_t rank_uncertainty = 0;
+  std::size_t root_summary_entries = 0;
+};
+
+/// One wave; every node's summary is pruned to `max_entries` tuples before
+/// it travels. Larger budgets -> tighter ranks, more bits.
+GkMedianResult gk_median(sim::Network& net, const net::SpanningTree& tree,
+                         std::size_t max_entries);
+
+}  // namespace sensornet::baseline

@@ -1,0 +1,183 @@
+#include "src/baseline/quantile_summary.hpp"
+
+#include <algorithm>
+
+#include "src/common/codec.hpp"
+#include "src/common/error.hpp"
+
+namespace sensornet::baseline {
+
+QuantileSummary QuantileSummary::from_items(ValueSet items) {
+  QuantileSummary s;
+  s.total_ = items.size();
+  if (items.empty()) return s;
+  std::sort(items.begin(), items.end());
+  std::uint64_t below = 0;  // items strictly smaller than the current run
+  std::size_t i = 0;
+  while (i < items.size()) {
+    std::size_t j = i;
+    while (j < items.size() && items[j] == items[i]) ++j;
+    // Copies of value v occupy ranks below+1 .. below+(j-i): tight bounds.
+    s.entries_.push_back(Entry{items[i], below + 1,
+                               below + static_cast<std::uint64_t>(j - i)});
+    below += static_cast<std::uint64_t>(j - i);
+    i = j;
+  }
+  return s;
+}
+
+QuantileSummary QuantileSummary::merged(const QuantileSummary& a,
+                                        const QuantileSummary& b) {
+  if (a.total_ == 0) return b;
+  if (b.total_ == 0) return a;
+  QuantileSummary out;
+  out.total_ = a.total_ + b.total_;
+  out.entries_.reserve(a.entries_.size() + b.entries_.size());
+
+  // For a tuple v from one side, the other side contributes:
+  //   rmin += rmin(pred)   pred = its largest tuple with value < v (else 0)
+  //   rmax += rmax(succ)-1 succ = its smallest tuple with value >= v
+  //          (else its full total)
+  const auto emit = [&out](const Entry& e, const QuantileSummary& other) {
+    Entry merged = e;
+    // pred: last entry with value < e.value
+    const auto& oe = other.entries_;
+    auto lb = std::lower_bound(
+        oe.begin(), oe.end(), e.value,
+        [](const Entry& x, Value v) { return x.value < v; });
+    if (lb != oe.begin()) merged.rmin += std::prev(lb)->rmin;
+    if (lb != oe.end()) {
+      merged.rmax += lb->rmax - 1;
+    } else {
+      merged.rmax += other.total_;
+    }
+    out.entries_.push_back(merged);
+  };
+
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.entries_.size() || ib < b.entries_.size()) {
+    if (ib == b.entries_.size() ||
+        (ia < a.entries_.size() &&
+         a.entries_[ia].value <= b.entries_[ib].value)) {
+      emit(a.entries_[ia++], b);
+    } else {
+      emit(b.entries_[ib++], a);
+    }
+  }
+  return out;
+}
+
+QuantileSummary QuantileSummary::pruned(std::size_t max_entries) const {
+  SENSORNET_EXPECTS(max_entries >= 2);
+  if (entries_.size() <= max_entries) return *this;
+  QuantileSummary out;
+  out.total_ = total_;
+
+  std::vector<std::size_t> keep;
+  keep.push_back(0);
+  const std::size_t interior = max_entries - 2;
+  for (std::size_t q = 1; q <= interior; ++q) {
+    // Target rank of the q-th kept quantile.
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(total_) * q) / (interior + 1));
+    // Entry whose rank midpoint is nearest the target.
+    std::size_t best = 0;
+    std::uint64_t best_dist = ~0ULL;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const std::uint64_t mid = (entries_[i].rmin + entries_[i].rmax) / 2;
+      const std::uint64_t dist = mid > target ? mid - target : target - mid;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    keep.push_back(best);
+  }
+  keep.push_back(entries_.size() - 1);
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+  for (const std::size_t i : keep) out.entries_.push_back(entries_[i]);
+  return out;
+}
+
+std::optional<Value> QuantileSummary::query_rank(std::uint64_t rank) const {
+  if (entries_.empty()) return std::nullopt;
+  const Entry* best = &entries_.front();
+  std::uint64_t best_dist = ~0ULL;
+  for (const Entry& e : entries_) {
+    std::uint64_t dist = 0;
+    if (rank < e.rmin) {
+      dist = e.rmin - rank;
+    } else if (rank > e.rmax) {
+      dist = rank - e.rmax;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = &e;
+    }
+  }
+  return best->value;
+}
+
+std::uint64_t QuantileSummary::max_rank_gap() const {
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i + 1 < entries_.size(); ++i) {
+    const std::uint64_t hi = entries_[i + 1].rmax;
+    const std::uint64_t lo = entries_[i].rmin;
+    if (hi > lo) worst = std::max(worst, (hi - lo) / 2);
+  }
+  return worst;
+}
+
+bool QuantileSummary::valid() const {
+  if (entries_.empty()) return total_ == 0;
+  std::uint64_t prev_value_rank = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.rmin == 0 || e.rmin > e.rmax || e.rmax > total_) return false;
+    if (i > 0 && e.value < entries_[i - 1].value) return false;
+    (void)prev_value_rank;
+  }
+  return true;
+}
+
+void QuantileSummary::encode(BitWriter& w) const {
+  encode_uint(w, total_);
+  encode_uint(w, entries_.size());
+  Value prev_value = 0;
+  std::uint64_t prev_rmin = 0;
+  for (const Entry& e : entries_) {
+    encode_uint(w, static_cast<std::uint64_t>(e.value - prev_value));
+    encode_int(w, static_cast<std::int64_t>(e.rmin) -
+                      static_cast<std::int64_t>(prev_rmin));
+    encode_uint(w, e.rmax - e.rmin);
+    prev_value = e.value;
+    prev_rmin = e.rmin;
+  }
+}
+
+QuantileSummary QuantileSummary::decode(BitReader& r) {
+  QuantileSummary s;
+  s.total_ = decode_uint(r);
+  const std::uint64_t n = decode_uint(r);
+  // Each entry costs >= 3 bits on the wire; larger counts are corruption.
+  if (n > r.remaining() / 3 + 1) {
+    throw WireFormatError("quantile summary: entry count exceeds payload");
+  }
+  Value prev_value = 0;
+  std::uint64_t prev_rmin = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.value = prev_value + static_cast<Value>(decode_uint(r));
+    e.rmin = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(prev_rmin) + decode_int(r));
+    e.rmax = e.rmin + decode_uint(r);
+    prev_value = e.value;
+    prev_rmin = e.rmin;
+    s.entries_.push_back(e);
+  }
+  return s;
+}
+
+}  // namespace sensornet::baseline

@@ -1,0 +1,73 @@
+// Epsilon-approximate quantile summaries (Greenwald-Khanna [4] style).
+//
+// The concurrent PODS'04 result the paper compares against: each node keeps
+// a bounded set of (value, rmin, rmax) tuples whose rank bounds bracket the
+// tuple's true rank in the multiset it summarizes. Summaries MERGE up the
+// aggregation tree (rank bounds add through predecessor/successor tuples)
+// and PRUNE back to a size budget (keeping quantile-spaced tuples), so any
+// rank query at the root is answered within the accumulated bound widening.
+// One pass, deterministic, answers *all* quantiles — at O((log N)^3..4)
+// bits/node versus Fig. 1's O((log N)^2) for a single order statistic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/bitio.hpp"
+#include "src/common/types.hpp"
+
+namespace sensornet::baseline {
+
+class QuantileSummary {
+ public:
+  struct Entry {
+    Value value = 0;
+    std::uint64_t rmin = 0;  // lower bound on the tuple's rank (1-based)
+    std::uint64_t rmax = 0;  // upper bound
+  };
+
+  /// Empty summary of zero items.
+  QuantileSummary() = default;
+
+  /// Exact summary of a local multiset (one tuple per distinct value with
+  /// tight bounds).
+  static QuantileSummary from_items(ValueSet items);
+
+  /// The GK merge: tuples interleave by value; each keeps its own bounds
+  /// plus the bounds contributed by the other summary's predecessor /
+  /// successor tuples. Bounds remain valid brackets of true ranks in the
+  /// combined multiset.
+  static QuantileSummary merged(const QuantileSummary& a,
+                                const QuantileSummary& b);
+
+  /// Keeps at most `max_entries` tuples: the extremes plus tuples nearest
+  /// to the B-quantile ranks. Bounds stay valid; query error grows by the
+  /// widened gaps.
+  QuantileSummary pruned(std::size_t max_entries) const;
+
+  /// Value whose rank bracket is closest to (or contains) `rank`.
+  /// Empty summary -> nullopt.
+  std::optional<Value> query_rank(std::uint64_t rank) const;
+
+  /// Items summarized.
+  std::uint64_t total() const { return total_; }
+  std::size_t entry_count() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Largest rank uncertainty a query can suffer: max over adjacent tuples
+  /// of (rmax_{i+1} - rmin_i) / 2 — the epsilon*N of the GK analysis.
+  std::uint64_t max_rank_gap() const;
+
+  /// Structural invariants: values sorted, bounds sane and within total.
+  bool valid() const;
+
+  void encode(BitWriter& w) const;
+  static QuantileSummary decode(BitReader& r);
+
+ private:
+  std::vector<Entry> entries_;  // sorted by value
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sensornet::baseline

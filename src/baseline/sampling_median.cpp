@@ -1,0 +1,48 @@
+#include "src/baseline/sampling_median.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/proto/aggregations.hpp"
+#include "src/proto/counting_service.hpp"
+#include "src/proto/tree_wave.hpp"
+
+namespace sensornet::baseline {
+
+SamplingMedianResult sampling_median(sim::Network& net,
+                                     const net::SpanningTree& tree,
+                                     std::uint64_t target_sample_size) {
+  SENSORNET_EXPECTS(target_sample_size >= 1);
+  proto::TreeCountingService counter(net, tree);
+  const std::uint64_t n = counter.count_all();
+  if (n == 0) throw PreconditionError("median of an empty input");
+
+  proto::SampleAgg::Request req;
+  req.pred = proto::Predicate::always_true();
+  const double p =
+      std::min(1.0, static_cast<double>(target_sample_size) /
+                        static_cast<double>(n));
+  req.prob_fp = static_cast<std::uint32_t>(p * proto::SampleAgg::kProbOne);
+  if (req.prob_fp == 0) req.prob_fp = 1;
+
+  proto::TreeWave<proto::SampleAgg> wave(tree, /*session=*/0x7200);
+  ValueSet sample = wave.execute(net, req);
+
+  SamplingMedianResult res;
+  res.population = n;
+  res.sample_size = sample.size();
+  if (sample.empty()) {
+    // Unlucky coin flips on a tiny population: fall back to one more wave
+    // with p = 1 (still cheaper than giving no answer).
+    req.prob_fp = proto::SampleAgg::kProbOne;
+    proto::TreeWave<proto::SampleAgg> retry(tree, /*session=*/0x7201);
+    sample = retry.execute(net, req);
+    res.sample_size = sample.size();
+  }
+  res.median = reference_order_statistic(
+      sample, static_cast<std::int64_t>(sample.size()));
+  return res;
+}
+
+}  // namespace sensornet::baseline

@@ -1,0 +1,31 @@
+// Uniform-sampling approximate median (the [10]-style synopsis).
+//
+// Nath et al. propose order/duplicate-insensitive synopses and solve
+// approximate median by uniform sampling. Our rendition: learn N with one
+// exact COUNT wave, broadcast an inclusion probability p = s/N inside a
+// sampling wave, collect ~s sampled values, output the sample median. Each
+// sampled value costs Theta(log X) = Theta(log N) bits on its whole path to
+// the root — the Omega(log N) bits/node the paper contrasts with its
+// polyloglog algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::baseline {
+
+struct SamplingMedianResult {
+  Value median = 0;
+  std::uint64_t sample_size = 0;
+  std::uint64_t population = 0;
+};
+
+/// `target_sample_size` trades accuracy (rank error ~ N/sqrt(s)) for bits.
+SamplingMedianResult sampling_median(sim::Network& net,
+                                     const net::SpanningTree& tree,
+                                     std::uint64_t target_sample_size);
+
+}  // namespace sensornet::baseline

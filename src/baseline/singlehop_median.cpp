@@ -1,0 +1,82 @@
+#include "src/baseline/singlehop_median.hpp"
+
+#include "src/common/error.hpp"
+
+namespace sensornet::baseline {
+
+namespace {
+
+/// The slotted rounds need no reactive behaviour: every bit is overheard by
+/// everyone, and every node advances the same deterministic search state.
+class NoReaction final : public sim::ProtocolHandler {
+ public:
+  void on_message(sim::Network&, NodeId, const sim::Message&) override {}
+};
+
+/// One presence round: every node transmits exactly one bit — whether any of
+/// its items satisfies `matches` — and everyone overhears all of them, so
+/// every node (not just the root) learns the round's count. Returns it.
+template <typename Matcher>
+std::uint64_t presence_round(sim::Network& net, std::uint32_t session,
+                             const Matcher& matches) {
+  std::uint64_t count = 0;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    bool present = false;
+    for (const Value x : net.items(u)) {
+      if (matches(x)) present = true;
+    }
+    if (present) ++count;
+    if (net.node_count() > 1) {
+      BitWriter w;
+      w.write_bit(present);
+      net.send_medium(sim::Message::make(u, kNoNode, session, 1, std::move(w)));
+    }
+  }
+  NoReaction handler;
+  net.run(handler);
+  return count;
+}
+
+}  // namespace
+
+SingleHopMedianResult single_hop_median(sim::Network& net, NodeId root,
+                                        Value max_value_bound) {
+  SENSORNET_EXPECTS(root < net.node_count());
+  SENSORNET_EXPECTS(max_value_bound >= 0);
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    SENSORNET_EXPECTS(net.items(u).size() <= 1);
+  }
+
+  SingleHopMedianResult res;
+  std::uint32_t session = 0;
+
+  // Round 0 counts the population; every node overhears it, so the whole
+  // binary search below runs as shared deterministic state — no node ever
+  // needs a threshold shipped to it ([14]'s one-transmitted-bit-per-round
+  // profile, root included).
+  const std::uint64_t n =
+      presence_round(net, session++, [](Value) { return true; });
+  ++res.rounds;
+  if (n == 0) throw PreconditionError("median of an empty input");
+
+  Value lo = 0;
+  Value hi = max_value_bound;
+  while (lo < hi) {
+    const Value mid = lo + (hi - lo) / 2;
+    // l(mid+1) = |{x <= mid}|.
+    const std::uint64_t c =
+        presence_round(net, session++, [mid](Value x) { return x <= mid; });
+    ++res.rounds;
+    if (2 * c >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  res.median = lo;
+  res.max_node_tx_bits = sim::max_payload_bits_sent(net.all_stats());
+  res.max_node_rx_bits = sim::max_payload_bits_received(net.all_stats());
+  return res;
+}
+
+}  // namespace sensornet::baseline

@@ -1,0 +1,28 @@
+// Exact median in single-hop networks (the Singh-Prasanna [14] comparator).
+//
+// Binary search over [0, X] where each probe is a slotted presence round:
+// every node transmits exactly one bit per probe and overhears everyone
+// else's. Per-node profile over the whole run: transmit O(log X) = O(log N)
+// bits, receive O(N log N) — the asymmetry the paper quotes for [14].
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::baseline {
+
+struct SingleHopMedianResult {
+  Value median = 0;
+  unsigned rounds = 0;  // presence rounds (binary-search probes)
+  std::uint64_t max_node_tx_bits = 0;
+  std::uint64_t max_node_rx_bits = 0;
+};
+
+/// `net` must be a complete graph; each node holds at most one item;
+/// `max_value_bound` is the known X.
+SingleHopMedianResult single_hop_median(sim::Network& net, NodeId root,
+                                        Value max_value_bound);
+
+}  // namespace sensornet::baseline

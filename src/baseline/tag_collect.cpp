@@ -1,0 +1,23 @@
+#include "src/baseline/tag_collect.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/proto/aggregations.hpp"
+#include "src/proto/tree_wave.hpp"
+
+namespace sensornet::baseline {
+
+TagMedianResult tag_collect_median(sim::Network& net,
+                                   const net::SpanningTree& tree) {
+  proto::TreeWave<proto::CollectAgg> wave(tree, /*session=*/0x7100);
+  const ValueSet all = wave.execute(
+      net, proto::CollectAgg::Request{proto::Predicate::always_true()});
+  if (all.empty()) throw PreconditionError("median of an empty input");
+  TagMedianResult res;
+  res.items_collected = all.size();
+  res.median =
+      reference_order_statistic(all, static_cast<std::int64_t>(all.size()));
+  return res;
+}
+
+}  // namespace sensornet::baseline

@@ -1,0 +1,26 @@
+// TAG-style collect-all median (the [9] classification this paper refutes).
+//
+// TAG classifies MEDIAN as a "holistic" aggregate: no constant-size partial
+// state suffices, so the straightforward in-network plan ships the whole
+// sorted multiset up the tree and selects at the root. Exact, one wave of
+// latency — but the root's child carries Theta(N log X) bits, the linear
+// cost Fig. 1 avoids.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::baseline {
+
+struct TagMedianResult {
+  Value median = 0;
+  std::uint64_t items_collected = 0;
+};
+
+TagMedianResult tag_collect_median(sim::Network& net,
+                                   const net::SpanningTree& tree);
+
+}  // namespace sensornet::baseline

@@ -1,0 +1,75 @@
+#include "src/common/bitio.hpp"
+
+#include "src/common/error.hpp"
+
+namespace sensornet {
+
+void BitWriter::write_bits(std::uint64_t value, unsigned n) {
+  SENSORNET_EXPECTS(n <= 64);
+  // Emit MSB-first, a byte-sized chunk at a time.
+  while (n > 0) {
+    const unsigned used = static_cast<unsigned>(bit_count_ % 8);
+    if (used == 0) bytes_.push_back(0);
+    const unsigned free_bits = 8 - used;
+    const unsigned take = free_bits < n ? free_bits : n;
+    const std::uint64_t chunk =
+        (n == 64 && take == 0)
+            ? 0
+            : (value >> (n - take)) & ((1ULL << take) - 1);
+    bytes_.back() |= static_cast<std::uint8_t>(chunk << (free_bits - take));
+    bit_count_ += take;
+    n -= take;
+  }
+}
+
+void BitWriter::write_bit(bool bit) {
+  const std::size_t byte_index = bit_count_ / 8;
+  const unsigned bit_index = 7 - static_cast<unsigned>(bit_count_ % 8);
+  if (byte_index == bytes_.size()) bytes_.push_back(0);
+  if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(1u << bit_index);
+  ++bit_count_;
+}
+
+std::vector<std::uint8_t> BitWriter::take_bytes() {
+  bit_count_ = 0;
+  return std::move(bytes_);
+}
+
+BitReader::BitReader(const std::uint8_t* data, std::size_t bit_count)
+    : data_(data), bit_count_(bit_count) {}
+
+BitReader::BitReader(const std::vector<std::uint8_t>& bytes)
+    : data_(bytes.data()), bit_count_(bytes.size() * 8) {}
+
+std::uint64_t BitReader::read_bits(unsigned n) {
+  SENSORNET_EXPECTS(n <= 64);
+  if (pos_ + n > bit_count_) {
+    throw WireFormatError("BitReader: read past end of payload");
+  }
+  std::uint64_t out = 0;
+  unsigned remaining = n;
+  while (remaining > 0) {
+    const unsigned used = static_cast<unsigned>(pos_ % 8);
+    const unsigned avail = 8 - used;
+    const unsigned take = avail < remaining ? avail : remaining;
+    const std::uint8_t byte = data_[pos_ / 8];
+    const std::uint8_t chunk = static_cast<std::uint8_t>(
+        (byte >> (avail - take)) & ((1u << take) - 1));
+    out = (out << take) | chunk;
+    pos_ += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+bool BitReader::read_bit() {
+  if (pos_ >= bit_count_) {
+    throw WireFormatError("BitReader: read past end of payload");
+  }
+  const std::size_t byte_index = pos_ / 8;
+  const unsigned bit_index = 7 - static_cast<unsigned>(pos_ % 8);
+  ++pos_;
+  return (data_[byte_index] >> bit_index) & 1u;
+}
+
+}  // namespace sensornet

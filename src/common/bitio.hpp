@@ -1,0 +1,65 @@
+// Bit-granular serialization.
+//
+// The paper's complexity measure is *bits*, so payloads are built with a
+// bit-level writer/reader rather than byte-aligned structs: a 3-bit field
+// costs exactly 3 bits of communication.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sensornet {
+
+/// Append-only bit buffer. Bits are packed MSB-first within each byte so the
+/// wire image is independent of host endianness.
+class BitWriter {
+ public:
+  /// Appends the `n` low-order bits of `value`, most significant first.
+  /// n must be in [0, 64].
+  void write_bits(std::uint64_t value, unsigned n);
+
+  /// Appends a single bit.
+  void write_bit(bool bit);
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// The packed buffer; the final byte is zero-padded.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  /// Moves the buffer out, leaving the writer empty.
+  std::vector<std::uint8_t> take_bytes();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential reader over a buffer produced by BitWriter. Reading past
+/// `bit_count` throws WireFormatError — truncated payloads never yield
+/// garbage silently.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t bit_count);
+  explicit BitReader(const std::vector<std::uint8_t>& bytes);
+
+  /// Reads `n` bits (n <= 64), returning them in the low-order positions.
+  std::uint64_t read_bits(unsigned n);
+
+  /// Reads a single bit.
+  bool read_bit();
+
+  /// Bits remaining.
+  std::size_t remaining() const { return bit_count_ - pos_; }
+
+  /// Total bits in the underlying buffer.
+  std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t bit_count_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sensornet

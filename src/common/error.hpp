@@ -1,0 +1,48 @@
+// Error types. Per the project guidelines, failures to satisfy an API
+// contract raise exceptions; Expects/Ensures-style macros centralize the
+// precondition checks so call sites stay readable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sensornet {
+
+/// Raised when an argument violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Raised when decoding a wire payload fails (truncated or corrupt).
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Raised when a protocol reaches a state its specification forbids
+/// (indicates a bug in the engine, not bad user input).
+class ProtocolError : public std::logic_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+/// Precondition check that throws PreconditionError (never compiled out:
+/// these guard public API boundaries, not hot inner loops).
+#define SENSORNET_EXPECTS(expr)                                     \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::sensornet::detail::fail_precondition(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+}  // namespace sensornet

@@ -1,0 +1,26 @@
+#include "src/common/hash.hpp"
+
+namespace sensornet {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x = state;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash64(std::uint64_t value, std::uint64_t salt) {
+  // Two dependent mixing rounds keyed by the salt; passes basic avalanche
+  // checks (see tests/common/hash_test.cpp).
+  return splitmix64(splitmix64(value ^ (salt * 0xda942042e4dd58b5ULL)) + salt);
+}
+
+}  // namespace sensornet

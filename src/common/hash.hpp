@@ -1,0 +1,24 @@
+// 64-bit hashing for duplicate-insensitive sketches.
+//
+// Approximate COUNT_DISTINCT (Section 5) replaces per-node random bits with
+// the hash of the item value, so duplicates map to identical sketch updates.
+// splitmix64's finalizer is a strong 64->64 mixer; salting supports
+// independent repetitions.
+#pragma once
+
+#include <cstdint>
+
+namespace sensornet {
+
+/// The splitmix64 output function: a bijective 64->64 bit mixer.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Advances a splitmix64 stream and returns the next output.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// Hash of `value` under a query-chosen `salt`; distinct salts give
+/// (practically) independent hash functions, which REP_COUNTP-style
+/// repetitions over hashed items require.
+std::uint64_t hash64(std::uint64_t value, std::uint64_t salt);
+
+}  // namespace sensornet

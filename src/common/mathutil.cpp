@@ -1,0 +1,68 @@
+#include "src/common/mathutil.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/error.hpp"
+
+namespace sensornet {
+
+unsigned floor_log2(std::uint64_t x) {
+  SENSORNET_EXPECTS(x >= 1);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+unsigned ceil_log2(std::uint64_t x) {
+  SENSORNET_EXPECTS(x >= 1);
+  const unsigned f = floor_log2(x);
+  return (x == (1ULL << f)) ? f : f + 1;
+}
+
+std::int64_t pow2_i64(unsigned k) {
+  SENSORNET_EXPECTS(k <= 62);
+  return static_cast<std::int64_t>(1) << k;
+}
+
+std::int64_t affine_rescale(std::int64_t x, std::int64_t lo,
+                            std::int64_t span_in, std::int64_t span_out) {
+  SENSORNET_EXPECTS(span_in > 0 && span_out >= 0);
+  const __int128 num = static_cast<__int128>(x - lo) * span_out;
+  // round-half-up in the positive domain
+  const __int128 q = (num + span_in / 2) / span_in;
+  return 1 + static_cast<std::int64_t>(q);
+}
+
+std::int64_t affine_unscale(std::int64_t y, std::int64_t lo,
+                            std::int64_t span_in, std::int64_t span_out) {
+  SENSORNET_EXPECTS(span_out > 0);
+  const __int128 num = static_cast<__int128>(y - 1) * span_in;
+  const __int128 q = (num + span_out / 2) / span_out;
+  return lo + static_cast<std::int64_t>(q);
+}
+
+std::size_t rank_below(const ValueSet& xs, Value y) {
+  std::size_t c = 0;
+  for (const Value x : xs) {
+    if (x < y) ++c;
+  }
+  return c;
+}
+
+Value reference_order_statistic(ValueSet xs, std::int64_t twice_k) {
+  SENSORNET_EXPECTS(!xs.empty());
+  SENSORNET_EXPECTS(twice_k >= 1 &&
+                    twice_k <= 2 * static_cast<std::int64_t>(xs.size()));
+  std::sort(xs.begin(), xs.end());
+  // The unique y with l(y) < k and l(y+1) >= k is the element of (1-based)
+  // rank ceil(k): every item below it has rank < k, and including it pushes
+  // the strict-rank of y+1 to >= k.
+  const std::int64_t rank = (twice_k + 1) / 2;  // ceil(twice_k / 2)
+  return xs[static_cast<std::size_t>(rank - 1)];
+}
+
+Value reference_median(const ValueSet& xs) {
+  return reference_order_statistic(xs,
+                                   static_cast<std::int64_t>(xs.size()));
+}
+
+}  // namespace sensornet

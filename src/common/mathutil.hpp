@@ -1,0 +1,42 @@
+// Small exact-integer helpers used throughout the algorithms.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+
+namespace sensornet {
+
+/// floor(log2 x) for x >= 1.
+unsigned floor_log2(std::uint64_t x);
+
+/// ceil(log2 x) for x >= 1 (ceil_log2(1) == 0).
+unsigned ceil_log2(std::uint64_t x);
+
+/// 2^k as int64 (k <= 62).
+std::int64_t pow2_i64(unsigned k);
+
+/// Rounded affine rescale: 1 + (x - lo) * (span_out) / (span_in), computed in
+/// 128-bit intermediate so the Fig. 4 zoom step never overflows. Performs
+/// round-half-up division.
+std::int64_t affine_rescale(std::int64_t x, std::int64_t lo,
+                            std::int64_t span_in, std::int64_t span_out);
+
+/// The inverse map of affine_rescale (also rounded): lo + (y - 1) * span_in /
+/// span_out.
+std::int64_t affine_unscale(std::int64_t y, std::int64_t lo,
+                            std::int64_t span_in, std::int64_t span_out);
+
+/// Number of items in `xs` strictly smaller than `y` — the paper's
+/// rank function l_X(y) (Notation 2.2), used as ground truth in tests.
+std::size_t rank_below(const ValueSet& xs, Value y);
+
+/// Reference k-order statistic per Definition 2.3, computed by sorting:
+/// the y with l(y) < k and l(y+1) >= k, where k may be half-integral and is
+/// passed as 2k to stay exact. Requires 1 <= k <= N (i.e. 2 <= twice_k <= 2N).
+Value reference_order_statistic(ValueSet xs, std::int64_t twice_k);
+
+/// Reference median: OS(X, N/2) per Definition 2.3.
+Value reference_median(const ValueSet& xs);
+
+}  // namespace sensornet

@@ -1,0 +1,82 @@
+#include "src/common/rng.hpp"
+
+#include <bit>
+
+#include "src/common/error.hpp"
+#include "src/common/hash.hpp"
+
+namespace sensornet {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  // splitmix64 expansion, the seeding procedure recommended by the authors.
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = splitmix64_next(sm);
+  // All-zero state is invalid; splitmix64 cannot produce four zero outputs
+  // from any seed, but keep the guarantee explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  SENSORNET_EXPECTS(bound > 0);
+  // Lemire 2019: multiply-shift with rejection in the low word.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::next_double() {
+  // 53 high bits -> [0,1) with full double resolution.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint32_t Xoshiro256::next_geometric_rank() {
+  // Count flips until the first head. Each u64 provides 64 fair coins; a
+  // zero word (probability 2^-64) just extends the run.
+  std::uint32_t rank = 1;
+  for (;;) {
+    const std::uint64_t w = next_u64();
+    if (w != 0) return rank + static_cast<std::uint32_t>(std::countl_zero(w));
+    rank += 64;
+  }
+}
+
+Xoshiro256 node_rng(std::uint64_t master_seed, NodeId node) {
+  std::uint64_t s = master_seed;
+  const std::uint64_t a = splitmix64_next(s);
+  return Xoshiro256(a ^ splitmix64(0x9e3779b97f4a7c15ULL * (node + 1)));
+}
+
+}  // namespace sensornet

@@ -1,0 +1,55 @@
+// Deterministic pseudo-randomness.
+//
+// Every node owns an independent Xoshiro256** stream derived from a master
+// seed and the node id, so whole-network runs are reproducible from a single
+// seed and protocols can draw "an infinite tape of random bits" (the paper's
+// RAM-machine assumption) without coordination.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+
+namespace sensornet {
+
+/// xoshiro256** 1.0 by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  /// Seeds the four 64-bit lanes by iterating splitmix64 over `seed`.
+  explicit Xoshiro256(std::uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  /// Next 64 uniform random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli(p) trial.
+  bool next_bool(double p);
+
+  /// Samples a Geometric(1/2) random variable: the number of fair-coin
+  /// flips up to and including the first head; support {1, 2, 3, ...}.
+  /// This is the primitive behind approximate counting (Fact 2.2): the max
+  /// of N such samples concentrates around log2 N.
+  std::uint32_t next_geometric_rank();
+
+  /// std::uniform_random_bit_generator interface, so the engine composes
+  /// with <random> distributions when convenient.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Derives the per-node stream for `node` under a given master seed. Streams
+/// are splitmix64-separated so adjacent node ids are not correlated.
+Xoshiro256 node_rng(std::uint64_t master_seed, NodeId node);
+
+}  // namespace sensornet

@@ -1,0 +1,32 @@
+// Fundamental type aliases shared by every subsystem.
+//
+// The paper models input items as non-negative integers whose magnitude is
+// polynomial in N (log X = O(log N)); `Value` is a 64-bit signed integer so
+// intermediate arithmetic (doubled-domain binary search, affine rescaling)
+// never needs a wider type at API boundaries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sensornet {
+
+/// Identifier of a node in the simulated network. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// A sensor reading / input item. Non-negative by the model's assumption;
+/// APIs validate this at entry points.
+using Value = std::int64_t;
+
+/// Simulated time, in abstract ticks (one hop traversal == 1 tick).
+using SimTime = std::uint64_t;
+
+/// Sentinel for "no node" (e.g. the root's parent in a spanning tree).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// A multiset of input items held at one node (Section 5 of the paper allows
+/// more than one item per node; most experiments use singletons).
+using ValueSet = std::vector<Value>;
+
+}  // namespace sensornet

@@ -1,0 +1,156 @@
+#include "src/common/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/error.hpp"
+
+namespace sensornet {
+
+const char* workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kZipf: return "zipf";
+    case WorkloadKind::kClusteredField: return "clustered";
+    case WorkloadKind::kAllEqual: return "all-equal";
+    case WorkloadKind::kTwoPoint: return "two-point";
+    case WorkloadKind::kDenseCenter: return "dense-center";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ValueSet uniform(std::size_t n, Value max_value, Xoshiro256& rng) {
+  ValueSet xs(n);
+  for (auto& x : xs) {
+    x = static_cast<Value>(
+        rng.next_below(static_cast<std::uint64_t>(max_value) + 1));
+  }
+  return xs;
+}
+
+ValueSet zipf(std::size_t n, Value max_value, Xoshiro256& rng) {
+  // Zipf(s=2) via inverse transform: value = floor(1/u - 1), clipped.
+  // Heavy head, long tail — the median sits far below the mean. The clip
+  // happens in double space so u -> 0 cannot overflow the integer cast.
+  ValueSet xs(n);
+  const double cap = static_cast<double>(max_value);
+  for (auto& x : xs) {
+    const double u = std::max(rng.next_double(), 1e-12);
+    const double v = std::min(1.0 / u - 1.0, cap);
+    x = static_cast<Value>(v);
+  }
+  return xs;
+}
+
+ValueSet clustered(std::size_t n, Value max_value, Xoshiro256& rng) {
+  // Three bumps at 20% / 50% / 80% of the range, sigma = 2% of range:
+  // a crude temperature field with hot spots.
+  const double range = static_cast<double>(max_value);
+  const double centers[3] = {0.2 * range, 0.5 * range, 0.8 * range};
+  const double sigma = std::max(1.0, 0.02 * range);
+  ValueSet xs(n);
+  for (auto& x : xs) {
+    const double c = centers[rng.next_below(3)];
+    // Box-Muller normal sample.
+    const double u1 = std::max(rng.next_double(), 1e-12);
+    const double u2 = rng.next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    const double v = c + sigma * z;
+    x = std::clamp<Value>(static_cast<Value>(std::llround(v)), 0, max_value);
+  }
+  return xs;
+}
+
+ValueSet two_point(std::size_t n, Value max_value, Xoshiro256& rng) {
+  // Half at ~10%, half at ~90% of the range; with even n the median straddles
+  // a huge value gap, the worst case for beta (value-error) guarantees.
+  const Value lo = max_value / 10;
+  const Value hi = max_value - max_value / 10;
+  ValueSet xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = (i % 2 == 0) ? lo : hi;
+  std::shuffle(xs.begin(), xs.end(), rng);
+  return xs;
+}
+
+ValueSet dense_center(std::size_t n, Value max_value, Xoshiro256& rng) {
+  // All values within +-n of the range midpoint: many near-ties in rank
+  // around the median, the worst case for alpha (rank-error) guarantees.
+  const Value mid = max_value / 2;
+  const auto spread = static_cast<Value>(n);
+  ValueSet xs(n);
+  for (auto& x : xs) {
+    const Value offset =
+        static_cast<Value>(rng.next_below(2 * static_cast<std::uint64_t>(spread) + 1)) -
+        spread;
+    x = std::clamp<Value>(mid + offset, 0, max_value);
+  }
+  return xs;
+}
+
+}  // namespace
+
+ValueSet generate_workload(WorkloadKind kind, std::size_t n, Value max_value,
+                           Xoshiro256& rng) {
+  SENSORNET_EXPECTS(n >= 1);
+  SENSORNET_EXPECTS(max_value >= 1);
+  switch (kind) {
+    case WorkloadKind::kUniform: return uniform(n, max_value, rng);
+    case WorkloadKind::kZipf: return zipf(n, max_value, rng);
+    case WorkloadKind::kClusteredField: return clustered(n, max_value, rng);
+    case WorkloadKind::kAllEqual:
+      return ValueSet(n, max_value / 3 + 1);
+    case WorkloadKind::kTwoPoint: return two_point(n, max_value, rng);
+    case WorkloadKind::kDenseCenter: return dense_center(n, max_value, rng);
+  }
+  throw PreconditionError("unknown workload kind");
+}
+
+ValueSet generate_with_distinct(std::size_t n, std::size_t distinct,
+                                Value max_value, Xoshiro256& rng) {
+  SENSORNET_EXPECTS(distinct >= 1 && distinct <= n);
+  SENSORNET_EXPECTS(static_cast<std::uint64_t>(max_value) + 1 >= distinct);
+  std::unordered_set<Value> chosen;
+  chosen.reserve(distinct);
+  while (chosen.size() < distinct) {
+    chosen.insert(static_cast<Value>(
+        rng.next_below(static_cast<std::uint64_t>(max_value) + 1)));
+  }
+  ValueSet pool(chosen.begin(), chosen.end());
+  ValueSet xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = pool[i % pool.size()];
+  std::shuffle(xs.begin(), xs.end(), rng);
+  return xs;
+}
+
+DisjointnessInstance generate_disjointness(std::size_t per_side,
+                                           std::size_t intersect,
+                                           Value universe, Xoshiro256& rng) {
+  SENSORNET_EXPECTS(per_side >= 1);
+  SENSORNET_EXPECTS(intersect <= per_side);
+  SENSORNET_EXPECTS(static_cast<std::uint64_t>(universe) + 1 >= 2 * per_side);
+  // Draw 2*per_side - intersect distinct values; the first `intersect` are
+  // shared, the rest split between the sides.
+  const std::size_t need = 2 * per_side - intersect;
+  std::unordered_set<Value> chosen;
+  chosen.reserve(need);
+  while (chosen.size() < need) {
+    chosen.insert(static_cast<Value>(
+        rng.next_below(static_cast<std::uint64_t>(universe) + 1)));
+  }
+  ValueSet pool(chosen.begin(), chosen.end());
+  std::shuffle(pool.begin(), pool.end(), rng);
+  DisjointnessInstance inst;
+  inst.disjoint = (intersect == 0);
+  inst.side_a.assign(pool.begin(), pool.begin() + static_cast<long>(per_side));
+  inst.side_b.assign(pool.begin(), pool.begin() + static_cast<long>(intersect));
+  inst.side_b.insert(inst.side_b.end(),
+                     pool.begin() + static_cast<long>(per_side),
+                     pool.begin() + static_cast<long>(2 * per_side - intersect));
+  return inst;
+}
+
+}  // namespace sensornet

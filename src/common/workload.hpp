@@ -1,0 +1,50 @@
+// Synthetic sensor-reading workloads.
+//
+// The paper's bounds are worst-case over inputs; these generators cover the
+// regimes that stress them: uniform and Zipf value distributions, clustered
+// "temperature field" readings, and adversarial shapes (all-equal, two-point
+// mass, values packed densely around the median) that exercise the alpha
+// (rank) and beta (value) error parameters of Definition 2.4.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace sensornet {
+
+/// Identifies a workload family; benches sweep over these.
+enum class WorkloadKind {
+  kUniform,        // iid uniform on [0, max_value]
+  kZipf,           // Zipf-ranked values, heavy head
+  kClusteredField, // mixture of Gaussian bumps (a "temperature field")
+  kAllEqual,       // every item identical (M == m degenerate case)
+  kTwoPoint,       // half mass at low value, half at high value
+  kDenseCenter,    // values packed within +-N around the median
+};
+
+const char* workload_name(WorkloadKind kind);
+
+/// Generates `n` non-negative readings bounded by `max_value`.
+ValueSet generate_workload(WorkloadKind kind, std::size_t n, Value max_value,
+                           Xoshiro256& rng);
+
+/// Generates a multiset with exactly `distinct` distinct values among `n`
+/// items (duplicates spread round-robin) — the COUNT_DISTINCT driver.
+ValueSet generate_with_distinct(std::size_t n, std::size_t distinct,
+                                Value max_value, Xoshiro256& rng);
+
+/// Generates the two halves of a Set-Disjointness instance (Theorem 5.1):
+/// each side holds `per_side` distinct values from a universe of
+/// `universe` values; `intersect` of them are shared between the sides.
+struct DisjointnessInstance {
+  ValueSet side_a;
+  ValueSet side_b;
+  bool disjoint;  // ground truth: side_a and side_b share no value
+};
+DisjointnessInstance generate_disjointness(std::size_t per_side,
+                                           std::size_t intersect,
+                                           Value universe, Xoshiro256& rng);
+
+}  // namespace sensornet

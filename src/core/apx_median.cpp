@@ -1,0 +1,92 @@
+#include "src/core/apx_median.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+
+namespace sensornet::core {
+
+namespace {
+
+/// ceil of a positive double as an invocation count, at least 1.
+unsigned rep_count(double q, double factor, double scale) {
+  const double r = std::ceil(q * factor * scale);
+  return static_cast<unsigned>(std::max(1.0, r));
+}
+
+}  // namespace
+
+ApxSelectionResult approx_median(proto::CountingService& minmax,
+                                 proto::ApproxCountingService& counter,
+                                 const ApxSelectionParams& params) {
+  SENSORNET_EXPECTS(params.epsilon > 0.0 && params.epsilon < 1.0);
+  SENSORNET_EXPECTS(params.rep_scale > 0.0);
+  ApxSelectionResult res;
+
+  // Line 1: MIN / MAX via the exact primitives.
+  const auto min_opt = minmax.min_value();
+  const auto max_opt = minmax.max_value();
+  if (!min_opt || !max_opt) {
+    throw PreconditionError("approx median of an empty input");
+  }
+  const Value m = *min_opt;
+  const Value M = *max_opt;
+  if (m == M) {
+    res.value = m;
+    return res;
+  }
+
+  // Line 2: q = log(M-m)/epsilon and the initial count estimate.
+  const double log_range =
+      std::max(1.0, std::log2(static_cast<double>(M - m)));
+  const double q = log_range / params.epsilon;
+  const unsigned r_init = rep_count(q, 2.0, params.rep_scale);
+  const double n =
+      proto::rep_countp(counter, r_init, proto::Predicate::always_true());
+  res.apx_count_calls += r_init;
+  res.n_estimate = n;
+
+  // Target rank fraction rho: 1/2 for the median, k/N for order statistics
+  // (Theorem 4.6).
+  const double rho = params.k_absolute ? std::clamp(*params.k_absolute /
+                                                        std::max(n, 1.0),
+                                                    0.0, 1.0)
+                                       : 0.5;
+
+  const double alpha_c = counter.alpha_c();
+  const double sigma = counter.sigma();
+  const double band = alpha_c + sigma;
+
+  // Line 3 (doubled domain, cf. det_median.cpp).
+  std::int64_t y2 = M + m;
+  std::int64_t z2 = pow2_i64(ceil_log2(static_cast<std::uint64_t>(M - m)));
+
+  // Line 4: noise-tolerant binary search.
+  const unsigned r_loop = rep_count(q, 32.0, params.rep_scale);
+  while (z2 > 1) {
+    const double c = proto::rep_countp(
+        counter, r_loop, proto::Predicate::less_than_half_units(y2));
+    res.apx_count_calls += r_loop;
+    ++res.iterations;
+    if (c < n * (rho - band)) {
+      y2 += z2 / 2;
+    } else if (c >= n * (rho + band)) {
+      y2 -= z2 / 2;
+    } else {
+      // Line 4.2.1: rank of the pivot is within noise of the target ->
+      // output floor(y) and halt.
+      res.value = (y2 >= 0) ? y2 / 2 : (y2 - 1) / 2;
+      res.halted_early = true;
+      return res;
+    }
+    z2 /= 2;
+  }
+
+  // Line 5: output floor(y).
+  res.value = (y2 >= 0) ? y2 / 2 : (y2 - 1) / 2;
+  return res;
+}
+
+}  // namespace sensornet::core

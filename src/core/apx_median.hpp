@@ -1,0 +1,55 @@
+// Randomized approximate median / order statistics (Section 4, Fig. 2).
+//
+// The deterministic binary search of Fig. 1 with two changes: counts come
+// from an alpha-counting protocol (repeated and averaged — REP_COUNTP), and
+// the comparison against k grows a +-(alpha_c + sigma) dead band. Landing
+// inside the band means the pivot's rank is within noise of the target, so
+// the algorithm may output it immediately (Lemma 4.4: an (alpha, beta)-median
+// with alpha = 3*sigma, beta = 1/X).
+//
+// Repetition counts follow the paper's proof-driven schedule
+// (r = ceil(2q) at line 2, ceil(32q) at line 4.1, q = log2(M-m)/epsilon),
+// scaled by `rep_scale` — benches run both the full schedule and cheaper
+// ones; the (alpha, beta) guarantee degrades gracefully with the scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/types.hpp"
+#include "src/proto/approx_counting.hpp"
+#include "src/proto/counting_service.hpp"
+
+namespace sensornet::core {
+
+struct ApxSelectionParams {
+  /// Desired failure probability (the epsilon of Theorem 4.5).
+  double epsilon = 0.25;
+  /// Multiplier on the paper's repetition counts (1.0 = exactly Fig. 2).
+  double rep_scale = 1.0;
+  /// When set, computes the k-order statistic with this absolute rank
+  /// (Theorem 4.6: the "1/2" expressions become k/N). When empty, the
+  /// median (k = N/2).
+  std::optional<double> k_absolute;
+};
+
+struct ApxSelectionResult {
+  Value value = 0;
+  /// True if the search stopped at line 4.2.1 (pivot rank within the noise
+  /// band of the target).
+  bool halted_early = false;
+  unsigned iterations = 0;
+  /// Total APX_COUNT invocations across all REP_COUNTP calls.
+  unsigned apx_count_calls = 0;
+  /// The REP_COUNTP estimate of N from line 2.
+  double n_estimate = 0.0;
+};
+
+/// Fig. 2. `minmax` supplies line 1's MIN/MAX protocols (Fact 2.1);
+/// `counter` supplies APX_COUNT (Fact 2.2). Both must run over the same
+/// item view.
+ApxSelectionResult approx_median(proto::CountingService& minmax,
+                                 proto::ApproxCountingService& counter,
+                                 const ApxSelectionParams& params);
+
+}  // namespace sensornet::core

@@ -1,0 +1,44 @@
+// COUNT_DISTINCT (Section 5).
+//
+// Exact: the only tree-aggregable exact representation is the distinct set
+// itself (union up the tree), so some node near the root communicates
+// Omega(D log X) bits — the linear behaviour Theorem 5.1 proves unavoidable.
+// Approximate: hashed LogLog registers make duplicates collapse; one wave of
+// O(m log log N) bits per node estimates D within ~1.3/sqrt(m), the
+// "extremely efficient" contrast the paper draws.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/spanning_tree.hpp"
+#include "src/proto/approx_counting.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::core {
+
+struct ExactDistinctResult {
+  std::uint64_t distinct = 0;
+  /// Individual communication of the wave (max bits sent+received by any
+  /// node during the call; window-scoped, not lifetime-scoped).
+  std::uint64_t max_node_bits = 0;
+};
+
+/// One distinct-set union wave; exact answer, linear worst-case bits.
+ExactDistinctResult exact_count_distinct(
+    sim::Network& net, const net::SpanningTree& tree,
+    const proto::LocalItemView& view = proto::raw_item_view());
+
+struct ApproxDistinctResult {
+  double estimate = 0.0;
+  std::uint64_t max_node_bits = 0;
+  /// Predicted relative standard error for the register count used.
+  double expected_sigma = 0.0;
+};
+
+/// One hashed-LogLog wave (Durand-Flajolet over item hashes).
+ApproxDistinctResult approx_count_distinct(
+    sim::Network& net, const net::SpanningTree& tree, unsigned registers,
+    proto::EstimatorKind estimator,
+    const proto::LocalItemView& view = proto::raw_item_view());
+
+}  // namespace sensornet::core

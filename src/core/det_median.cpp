@@ -1,0 +1,73 @@
+#include "src/core/det_median.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+
+namespace sensornet::core {
+
+DetSelectionResult deterministic_order_statistic(proto::CountingService& svc,
+                                                 std::int64_t twice_k,
+                                                 SearchTrace* trace) {
+  SENSORNET_EXPECTS(twice_k >= 1);
+  DetSelectionResult res;
+
+  const auto min_opt = svc.min_value();
+  const auto max_opt = svc.max_value();
+  if (!min_opt || !max_opt) {
+    throw PreconditionError("order statistic of an empty input");
+  }
+  const Value m = *min_opt;
+  const Value M = *max_opt;
+  if (m == M) {
+    // Degenerate input: Fig. 1's z = 2^(ceil(log(M-m)) - 1) is undefined;
+    // every order statistic equals the common value.
+    res.value = m;
+    return res;
+  }
+
+  // Doubled domain: y2 == 2y, z2 == 2z. Initially y = (M+m)/2 and
+  // z = 2^(ceil(log2(M-m)) - 1), so y2 = M+m and z2 = 2^ceil(log2(M-m)).
+  std::int64_t y2 = M + m;
+  std::int64_t z2 = pow2_i64(ceil_log2(static_cast<std::uint64_t>(M - m)));
+
+  // Loop while z > 1/2, i.e. z2 > 1. Each COUNTP asks for l(y) = |{x < y}|;
+  // the comparison c(y) < k becomes 2*c < twice_k exactly.
+  while (z2 > 1) {
+    if (trace) trace->emplace_back(y2, z2);
+    const std::uint64_t c =
+        svc.count(proto::Predicate::less_than_half_units(y2));
+    ++res.countp_calls;
+    ++res.iterations;
+    if (2 * static_cast<std::int64_t>(c) < twice_k) {
+      y2 += z2 / 2;
+    } else {
+      y2 -= z2 / 2;
+    }
+    z2 /= 2;
+  }
+
+  if (y2 % 2 == 0) {
+    // y is an integer: by Lemma 3.1 the median lies in [y - 1/2, y + 1/2],
+    // hence equals y.
+    res.value = y2 / 2;
+    return res;
+  }
+  // y = integer + 1/2: the answer is floor(y) or ceil(y); one more COUNTP
+  // (line 4.1) decides which.
+  const Value ceil_y = (y2 + 1) / 2;
+  const std::uint64_t c = svc.count(proto::Predicate::less_than(ceil_y));
+  ++res.countp_calls;
+  res.value = (2 * static_cast<std::int64_t>(c) < twice_k) ? ceil_y : ceil_y - 1;
+  return res;
+}
+
+DetSelectionResult deterministic_median(proto::CountingService& svc,
+                                        SearchTrace* trace) {
+  const std::uint64_t n = svc.count_all();
+  if (n == 0) throw PreconditionError("median of an empty input");
+  // MEDIAN(X) = OS(X, N/2): twice_k = N.
+  return deterministic_order_statistic(svc, static_cast<std::int64_t>(n),
+                                       trace);
+}
+
+}  // namespace sensornet::core

@@ -1,0 +1,74 @@
+#include "src/net/graph.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::net {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+void Graph::check_node(NodeId u) const {
+  if (u >= adjacency_.size()) {
+    throw PreconditionError("Graph: node id out of range");
+  }
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  SENSORNET_EXPECTS(u != v);
+  if (has_edge(u, v)) {
+    throw PreconditionError("Graph: duplicate edge");
+  }
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++edge_count_;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& smaller =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+std::size_t Graph::degree(NodeId u) const {
+  check_node(u);
+  return adjacency_[u].size();
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  return best;
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId u) const {
+  check_node(u);
+  return adjacency_[u];
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const NodeId v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace sensornet::net

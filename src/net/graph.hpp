@@ -1,0 +1,42 @@
+// Undirected communication graph of the sensor deployment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace sensornet::net {
+
+/// Simple undirected graph over nodes 0..n-1 with adjacency lists.
+/// Parallel edges and self-loops are rejected.
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count);
+
+  /// Adds the undirected edge {u, v}. Throws on self-loop, out-of-range ids,
+  /// or duplicate edge.
+  void add_edge(NodeId u, NodeId v);
+
+  /// True if {u, v} is an edge.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+  std::size_t degree(NodeId u) const;
+  std::size_t max_degree() const;
+
+  /// Neighbors of u in insertion order.
+  const std::vector<NodeId>& neighbors(NodeId u) const;
+
+  /// True if every node is reachable from node 0 (or graph is empty).
+  bool connected() const;
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace sensornet::net

@@ -1,0 +1,49 @@
+// Spanning trees for broadcast-convergecast aggregation.
+//
+// Fact 2.1's O(log N) *individual* bound needs a bounded-degree spanning
+// tree ("bounded degree is required to maintain low individual communication
+// complexity" — Section 2.2), so alongside the plain BFS tree we provide a
+// child-capped construction; the EXP-ABL bench contrasts the two.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/net/graph.hpp"
+
+namespace sensornet::net {
+
+/// Rooted spanning tree: parent pointers, children lists, depths.
+struct SpanningTree {
+  NodeId root = 0;
+  std::vector<NodeId> parent;                 // kNoNode at the root
+  std::vector<std::vector<NodeId>> children;  // sorted by id
+  std::vector<std::uint32_t> depth;           // root has depth 0
+
+  std::size_t node_count() const { return parent.size(); }
+
+  /// Longest root-to-leaf path (edges).
+  std::size_t height() const;
+
+  /// Maximum tree degree: children count plus one for the parent link.
+  std::size_t max_degree() const;
+};
+
+/// Breadth-first spanning tree from `root`. Throws if the graph is
+/// disconnected.
+SpanningTree bfs_tree(const Graph& graph, NodeId root);
+
+/// BFS-like spanning tree where no node adopts more than `max_children`
+/// children (the root included). Nodes left stranded when all their
+/// neighbors' quotas are exhausted cause a ProtocolError — callers pick a
+/// cap that the topology supports (e.g. any cap >= 2 on a complete graph).
+SpanningTree capped_bfs_tree(const Graph& graph, NodeId root,
+                             unsigned max_children);
+
+/// Checks structural soundness: every non-root has a parent that is a graph
+/// neighbor, children lists mirror parents, depths increment, all nodes
+/// reachable from the root exactly once.
+bool validate_tree(const Graph& graph, const SpanningTree& tree);
+
+}  // namespace sensornet::net

@@ -1,0 +1,158 @@
+#include "src/net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::net {
+
+Graph make_line(std::size_t n) {
+  SENSORNET_EXPECTS(n >= 1);
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph make_ring(std::size_t n) {
+  SENSORNET_EXPECTS(n >= 3);
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  SENSORNET_EXPECTS(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  SENSORNET_EXPECTS(n >= 1);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+Graph make_balanced_tree(std::size_t n, unsigned arity) {
+  SENSORNET_EXPECTS(n >= 1 && arity >= 1);
+  Graph g(n);
+  for (NodeId child = 1; child < n; ++child) {
+    const NodeId parent = (child - 1) / arity;
+    g.add_edge(parent, child);
+  }
+  return g;
+}
+
+GeometricLayout make_random_geometric(std::size_t n, double radius,
+                                      Xoshiro256& rng) {
+  SENSORNET_EXPECTS(n >= 1);
+  SENSORNET_EXPECTS(radius > 0.0);
+  GeometricLayout layout{Graph(n), std::vector<double>(n),
+                         std::vector<double>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    layout.x[i] = rng.next_double();
+    layout.y[i] = rng.next_double();
+  }
+  const double r2 = radius * radius;
+  const auto dist2 = [&](std::size_t a, std::size_t b) {
+    const double dx = layout.x[a] - layout.x[b];
+    const double dy = layout.y[a] - layout.y[b];
+    return dx * dx + dy * dy;
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (dist2(i, j) <= r2) layout.graph.add_edge(i, j);
+    }
+  }
+
+  // Connectivity repair: union-find over current edges, then bridge the
+  // geometrically closest inter-component pair until one component remains.
+  std::vector<NodeId> parent(n);
+  for (NodeId i = 0; i < n; ++i) parent[i] = i;
+  const auto find = [&](NodeId u) {
+    while (parent[u] != u) {
+      parent[u] = parent[parent[u]];
+      u = parent[u];
+    }
+    return u;
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    for (const NodeId j : layout.graph.neighbors(i)) {
+      parent[find(i)] = find(j);
+    }
+  }
+  for (;;) {
+    // Find any two components' closest pair.
+    NodeId best_a = kNoNode;
+    NodeId best_b = kNoNode;
+    double best_d = std::numeric_limits<double>::infinity();
+    bool multiple_components = false;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (find(i) == find(j)) continue;
+        multiple_components = true;
+        const double d = dist2(i, j);
+        if (d < best_d) {
+          best_d = d;
+          best_a = i;
+          best_b = j;
+        }
+      }
+    }
+    if (!multiple_components) break;
+    layout.graph.add_edge(best_a, best_b);
+    parent[find(best_a)] = find(best_b);
+  }
+  return layout;
+}
+
+const char* topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kComplete: return "complete";
+    case TopologyKind::kBalancedTree: return "balanced-tree";
+    case TopologyKind::kGeometric: return "geometric";
+  }
+  return "unknown";
+}
+
+Graph make_topology(TopologyKind kind, std::size_t n, Xoshiro256& rng) {
+  switch (kind) {
+    case TopologyKind::kLine: return make_line(n);
+    case TopologyKind::kRing: return make_ring(n);
+    case TopologyKind::kGrid: {
+      const auto side = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(n))));
+      return make_grid(side, side);
+    }
+    case TopologyKind::kComplete: return make_complete(n);
+    case TopologyKind::kBalancedTree: return make_balanced_tree(n, 3);
+    case TopologyKind::kGeometric: {
+      // Radius at ~2x the connectivity threshold sqrt(log n / (pi n)) keeps
+      // repairs rare while the graph stays sparse.
+      const double dn = static_cast<double>(n);
+      const double radius =
+          2.0 * std::sqrt(std::log(std::max(dn, 2.0)) / (3.14159265 * dn));
+      return make_random_geometric(n, radius, rng).graph;
+    }
+  }
+  throw PreconditionError("unknown topology kind");
+}
+
+}  // namespace sensornet::net

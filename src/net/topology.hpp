@@ -1,0 +1,58 @@
+// Deployment topology generators.
+//
+// The paper abstracts the communication mechanism entirely, but individual
+// communication complexity depends on the spanning tree's shape, so benches
+// run every protocol over several topology families:
+//   line      — worst diameter, degree 2 (also hosts the Thm 5.1 reduction)
+//   ring      — line plus one wrap edge
+//   grid      — the classic TAG deployment model
+//   complete  — single-hop ("all hear all"), hosts the [14] comparator
+//   balanced  — ideal d-ary aggregation tree
+//   geometric — random geometric graph (unit-disk radios), with connectivity
+//               repair so experiments never dead-end on a partitioned radio
+//               layout
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/net/graph.hpp"
+
+namespace sensornet::net {
+
+Graph make_line(std::size_t n);
+Graph make_ring(std::size_t n);
+
+/// rows x cols 4-neighbor mesh.
+Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// Every pair connected: the single-hop model of Singh & Prasanna [14].
+Graph make_complete(std::size_t n);
+
+/// Balanced tree where every internal node has `arity` children.
+Graph make_balanced_tree(std::size_t n, unsigned arity);
+
+/// 2D positions of a geometric deployment, kept for diagnostics.
+struct GeometricLayout {
+  Graph graph;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// n nodes uniform in the unit square; edge iff distance <= radius. If the
+/// result is disconnected, the closest pair of nodes across components is
+/// bridged (repeatedly) — a stand-in for a deployer adding relay motes.
+GeometricLayout make_random_geometric(std::size_t n, double radius,
+                                      Xoshiro256& rng);
+
+/// Named topology families for parameterized tests/benches.
+enum class TopologyKind { kLine, kRing, kGrid, kComplete, kBalancedTree, kGeometric };
+
+const char* topology_name(TopologyKind kind);
+
+/// Builds a topology of roughly `n` nodes from the family (grid rounds up to
+/// a full rectangle).
+Graph make_topology(TopologyKind kind, std::size_t n, Xoshiro256& rng);
+
+}  // namespace sensornet::net

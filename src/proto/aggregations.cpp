@@ -1,0 +1,353 @@
+#include "src/proto/aggregations.hpp"
+
+#include <algorithm>
+
+#include "src/common/codec.hpp"
+#include "src/common/error.hpp"
+#include "src/sketch/loglog.hpp"
+#include "src/sketch/odi_sum.hpp"
+
+namespace sensornet::proto {
+
+namespace {
+const LocalItemView kRawView;
+}  // namespace
+
+const LocalItemView& raw_item_view() { return kRawView; }
+
+// ---- CountAgg -------------------------------------------------------------
+
+void CountAgg::encode_request(BitWriter& w, const Request& req) {
+  req.pred.encode(w);
+}
+
+CountAgg::Request CountAgg::decode_request(BitReader& r) {
+  return Request{Predicate::decode(r)};
+}
+
+void CountAgg::encode_partial(BitWriter& w, const Partial& p, const Request&) {
+  encode_uint(w, p);
+}
+
+CountAgg::Partial CountAgg::decode_partial(BitReader& r, const Request&) {
+  return decode_uint(r);
+}
+
+CountAgg::Partial CountAgg::local(sim::Network& net, NodeId node,
+                                  const Request& req,
+                                  const LocalItemView& view) {
+  Partial c = 0;
+  for (const Value x : view.items(net, node)) {
+    if (req.pred.matches(x)) ++c;
+  }
+  return c;
+}
+
+void CountAgg::combine(Partial& acc, const Partial& in, const Request&) {
+  acc += in;
+}
+
+// ---- SumAgg ---------------------------------------------------------------
+
+void SumAgg::encode_request(BitWriter& w, const Request& req) {
+  req.pred.encode(w);
+}
+
+SumAgg::Request SumAgg::decode_request(BitReader& r) {
+  return Request{Predicate::decode(r)};
+}
+
+void SumAgg::encode_partial(BitWriter& w, const Partial& p, const Request&) {
+  encode_uint(w, p);
+}
+
+SumAgg::Partial SumAgg::decode_partial(BitReader& r, const Request&) {
+  return decode_uint(r);
+}
+
+SumAgg::Partial SumAgg::local(sim::Network& net, NodeId node,
+                              const Request& req, const LocalItemView& view) {
+  Partial s = 0;
+  for (const Value x : view.items(net, node)) {
+    if (req.pred.matches(x)) s += static_cast<std::uint64_t>(x);
+  }
+  return s;
+}
+
+void SumAgg::combine(Partial& acc, const Partial& in, const Request&) {
+  acc += in;
+}
+
+// ---- Min/Max --------------------------------------------------------------
+
+namespace detail {
+
+void ExtremeAggBase::encode_request(BitWriter& w, const Request& req) {
+  req.pred.encode(w);
+}
+
+ExtremeAggBase::Request ExtremeAggBase::decode_request(BitReader& r) {
+  return Request{Predicate::decode(r)};
+}
+
+void ExtremeAggBase::encode_partial(BitWriter& w, const Partial& p,
+                                    const Request&) {
+  w.write_bit(p.has_value());
+  if (p.has_value()) {
+    SENSORNET_EXPECTS(*p >= 0);
+    encode_uint(w, static_cast<std::uint64_t>(*p));
+  }
+}
+
+ExtremeAggBase::Partial ExtremeAggBase::decode_partial(BitReader& r,
+                                                       const Request&) {
+  if (!r.read_bit()) return std::nullopt;
+  return static_cast<Value>(decode_uint(r));
+}
+
+}  // namespace detail
+
+MinAgg::Partial MinAgg::local(sim::Network& net, NodeId node,
+                              const Request& req, const LocalItemView& view) {
+  Partial best;
+  for (const Value x : view.items(net, node)) {
+    if (req.pred.matches(x) && (!best || x < *best)) best = x;
+  }
+  return best;
+}
+
+void MinAgg::combine(Partial& acc, const Partial& in, const Request&) {
+  if (in && (!acc || *in < *acc)) acc = in;
+}
+
+MaxAgg::Partial MaxAgg::local(sim::Network& net, NodeId node,
+                              const Request& req, const LocalItemView& view) {
+  Partial best;
+  for (const Value x : view.items(net, node)) {
+    if (req.pred.matches(x) && (!best || x > *best)) best = x;
+  }
+  return best;
+}
+
+void MaxAgg::combine(Partial& acc, const Partial& in, const Request&) {
+  if (in && (!acc || *in > *acc)) acc = in;
+}
+
+// ---- LogLogAgg --------------------------------------------------------------
+
+void LogLogAgg::encode_request(BitWriter& w, const Request& req) {
+  SENSORNET_EXPECTS(req.registers >= 1 &&
+                    (req.registers & (req.registers - 1)) == 0);
+  req.pred.encode(w);
+  encode_uint(w, req.registers);
+  encode_uint(w, req.width);
+  w.write_bits(static_cast<std::uint64_t>(req.mode), 2);
+  w.write_bits(req.salt, 16);
+}
+
+LogLogAgg::Request LogLogAgg::decode_request(BitReader& r) {
+  Request req;
+  req.pred = Predicate::decode(r);
+  req.registers = static_cast<std::uint16_t>(decode_uint(r));
+  req.width = static_cast<std::uint8_t>(decode_uint(r));
+  req.mode = static_cast<Mode>(r.read_bits(2));
+  req.salt = static_cast<std::uint16_t>(r.read_bits(16));
+  return req;
+}
+
+void LogLogAgg::encode_partial(BitWriter& w, const Partial& p,
+                               const Request&) {
+  p.encode(w);
+}
+
+LogLogAgg::Partial LogLogAgg::decode_partial(BitReader& r,
+                                             const Request& req) {
+  return sketch::RegisterArray::decode(r, req.registers, req.width);
+}
+
+LogLogAgg::Partial LogLogAgg::local(sim::Network& net, NodeId node,
+                                    const Request& req,
+                                    const LocalItemView& view) {
+  sketch::RegisterArray regs(req.registers, req.width);
+  for (const Value x : view.items(net, node)) {
+    if (!req.pred.matches(x)) continue;
+    switch (req.mode) {
+      case Mode::kRandom:
+        sketch::observe_random(regs, net.rng(node));
+        break;
+      case Mode::kHashed:
+        sketch::observe_hashed(regs, static_cast<std::uint64_t>(x), req.salt);
+        break;
+      case Mode::kSumOdi:
+        sketch::observe_sum(regs, static_cast<std::uint64_t>(x),
+                            net.rng(node));
+        break;
+    }
+  }
+  return regs;
+}
+
+void LogLogAgg::combine(Partial& acc, const Partial& in, const Request&) {
+  acc.merge(in);
+}
+
+// ---- CollectAgg -------------------------------------------------------------
+
+namespace {
+
+/// Sorted-multiset wire format: length, first value, then non-negative gaps.
+void encode_sorted_values(BitWriter& w, const ValueSet& xs,
+                          bool strictly_increasing) {
+  encode_uint(w, xs.size());
+  Value prev = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::uint64_t gap = static_cast<std::uint64_t>(xs[i] - prev);
+    if (strictly_increasing && i > 0) gap -= 1;  // gaps >= 1 shift to >= 0
+    encode_uint(w, gap);
+    prev = xs[i];
+  }
+}
+
+ValueSet decode_sorted_values(BitReader& r, bool strictly_increasing) {
+  const std::uint64_t n = decode_uint(r);
+  // Every encoded value costs >= 1 bit: a length exceeding the remaining
+  // payload is corruption, not data (guards the allocation below).
+  if (n > r.remaining()) {
+    throw WireFormatError("sorted-values: length exceeds payload");
+  }
+  ValueSet xs;
+  xs.reserve(n);
+  Value prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t gap = decode_uint(r);
+    if (strictly_increasing && i > 0) gap += 1;
+    const Value v = prev + static_cast<Value>(gap);
+    xs.push_back(v);
+    prev = v;
+  }
+  return xs;
+}
+
+}  // namespace
+
+void CollectAgg::encode_request(BitWriter& w, const Request& req) {
+  req.pred.encode(w);
+}
+
+CollectAgg::Request CollectAgg::decode_request(BitReader& r) {
+  return Request{Predicate::decode(r)};
+}
+
+void CollectAgg::encode_partial(BitWriter& w, const Partial& p,
+                                const Request&) {
+  encode_sorted_values(w, p, /*strictly_increasing=*/false);
+}
+
+CollectAgg::Partial CollectAgg::decode_partial(BitReader& r, const Request&) {
+  return decode_sorted_values(r, /*strictly_increasing=*/false);
+}
+
+CollectAgg::Partial CollectAgg::local(sim::Network& net, NodeId node,
+                                      const Request& req,
+                                      const LocalItemView& view) {
+  Partial mine;
+  for (const Value x : view.items(net, node)) {
+    if (req.pred.matches(x)) mine.push_back(x);
+  }
+  std::sort(mine.begin(), mine.end());
+  return mine;
+}
+
+void CollectAgg::combine(Partial& acc, const Partial& in, const Request&) {
+  Partial merged;
+  merged.reserve(acc.size() + in.size());
+  std::merge(acc.begin(), acc.end(), in.begin(), in.end(),
+             std::back_inserter(merged));
+  acc = std::move(merged);
+}
+
+// ---- DistinctSetAgg ----------------------------------------------------------
+
+void DistinctSetAgg::encode_request(BitWriter& w, const Request& req) {
+  req.pred.encode(w);
+}
+
+DistinctSetAgg::Request DistinctSetAgg::decode_request(BitReader& r) {
+  return Request{Predicate::decode(r)};
+}
+
+void DistinctSetAgg::encode_partial(BitWriter& w, const Partial& p,
+                                    const Request&) {
+  encode_sorted_values(w, p, /*strictly_increasing=*/true);
+}
+
+DistinctSetAgg::Partial DistinctSetAgg::decode_partial(BitReader& r,
+                                                       const Request&) {
+  return decode_sorted_values(r, /*strictly_increasing=*/true);
+}
+
+DistinctSetAgg::Partial DistinctSetAgg::local(sim::Network& net, NodeId node,
+                                              const Request& req,
+                                              const LocalItemView& view) {
+  Partial mine;
+  for (const Value x : view.items(net, node)) {
+    if (req.pred.matches(x)) mine.push_back(x);
+  }
+  std::sort(mine.begin(), mine.end());
+  mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+  return mine;
+}
+
+void DistinctSetAgg::combine(Partial& acc, const Partial& in, const Request&) {
+  Partial merged;
+  merged.reserve(acc.size() + in.size());
+  std::set_union(acc.begin(), acc.end(), in.begin(), in.end(),
+                 std::back_inserter(merged));
+  acc = std::move(merged);
+}
+
+// ---- SampleAgg ----------------------------------------------------------------
+
+void SampleAgg::encode_request(BitWriter& w, const Request& req) {
+  req.pred.encode(w);
+  w.write_bits(req.prob_fp, 21);  // kProbOne needs 21 bits
+}
+
+SampleAgg::Request SampleAgg::decode_request(BitReader& r) {
+  Request req;
+  req.pred = Predicate::decode(r);
+  req.prob_fp = static_cast<std::uint32_t>(r.read_bits(21));
+  return req;
+}
+
+void SampleAgg::encode_partial(BitWriter& w, const Partial& p,
+                               const Request&) {
+  encode_sorted_values(w, p, /*strictly_increasing=*/false);
+}
+
+SampleAgg::Partial SampleAgg::decode_partial(BitReader& r, const Request&) {
+  return decode_sorted_values(r, /*strictly_increasing=*/false);
+}
+
+SampleAgg::Partial SampleAgg::local(sim::Network& net, NodeId node,
+                                    const Request& req,
+                                    const LocalItemView& view) {
+  Partial mine;
+  auto& rng = net.rng(node);
+  for (const Value x : view.items(net, node)) {
+    if (!req.pred.matches(x)) continue;
+    if (rng.next_below(kProbOne) < req.prob_fp) mine.push_back(x);
+  }
+  std::sort(mine.begin(), mine.end());
+  return mine;
+}
+
+void SampleAgg::combine(Partial& acc, const Partial& in, const Request&) {
+  Partial merged;
+  merged.reserve(acc.size() + in.size());
+  std::merge(acc.begin(), acc.end(), in.begin(), in.end(),
+             std::back_inserter(merged));
+  acc = std::move(merged);
+}
+
+}  // namespace sensornet::proto

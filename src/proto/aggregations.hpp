@@ -1,0 +1,178 @@
+// Aggregation specs for the tree-wave engine.
+//
+// Each spec defines the request parameters a wave ships downtree, the
+// partial-aggregate state that flows uptree, exact wire codecs for both, the
+// node-local contribution, and the (associative, commutative) combine step.
+// Together with TreeWave<Spec> this is the paper's broadcast-convergecast
+// toolbox: MIN / MAX / COUNT / SUM (Fact 2.1), COUNTP (Section 3.1), LogLog
+// register aggregation (Fact 2.2), and the heavyweight collect / distinct-set
+// partials used by baselines and by exact COUNT_DISTINCT (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/bitio.hpp"
+#include "src/common/types.hpp"
+#include "src/proto/item_view.hpp"
+#include "src/proto/predicate.hpp"
+#include "src/sim/network.hpp"
+#include "src/sketch/registers.hpp"
+
+namespace sensornet::proto {
+
+// ---------------------------------------------------------------------------
+// COUNTP: number of items satisfying a predicate (Fact 2.1 / Section 3.1).
+// ---------------------------------------------------------------------------
+struct CountAgg {
+  struct Request {
+    Predicate pred = Predicate::always_true();
+  };
+  using Partial = std::uint64_t;
+
+  static void encode_request(BitWriter& w, const Request& req);
+  static Request decode_request(BitReader& r);
+  static void encode_partial(BitWriter& w, const Partial& p, const Request&);
+  static Partial decode_partial(BitReader& r, const Request&);
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const LocalItemView& view);
+  static void combine(Partial& acc, const Partial& in, const Request&);
+};
+
+// ---------------------------------------------------------------------------
+// SUMP: sum of items satisfying a predicate (with COUNT this gives AVERAGE).
+// ---------------------------------------------------------------------------
+struct SumAgg {
+  struct Request {
+    Predicate pred = Predicate::always_true();
+  };
+  using Partial = std::uint64_t;
+
+  static void encode_request(BitWriter& w, const Request& req);
+  static Request decode_request(BitReader& r);
+  static void encode_partial(BitWriter& w, const Partial& p, const Request&);
+  static Partial decode_partial(BitReader& r, const Request&);
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const LocalItemView& view);
+  static void combine(Partial& acc, const Partial& in, const Request&);
+};
+
+// ---------------------------------------------------------------------------
+// MIN / MAX over items satisfying a predicate. The partial is empty when the
+// subtree holds no matching item (passive subtrees in Fig. 4).
+// ---------------------------------------------------------------------------
+namespace detail {
+struct ExtremeAggBase {
+  struct Request {
+    Predicate pred = Predicate::always_true();
+  };
+  using Partial = std::optional<Value>;
+
+  static void encode_request(BitWriter& w, const Request& req);
+  static Request decode_request(BitReader& r);
+  static void encode_partial(BitWriter& w, const Partial& p, const Request&);
+  static Partial decode_partial(BitReader& r, const Request&);
+};
+}  // namespace detail
+
+struct MinAgg : detail::ExtremeAggBase {
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const LocalItemView& view);
+  static void combine(Partial& acc, const Partial& in, const Request&);
+};
+
+struct MaxAgg : detail::ExtremeAggBase {
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const LocalItemView& view);
+  static void combine(Partial& acc, const Partial& in, const Request&);
+};
+
+// ---------------------------------------------------------------------------
+// LogLog register aggregation (Fact 2.2 / Section 5).
+// ---------------------------------------------------------------------------
+struct LogLogAgg {
+  enum class Mode : std::uint8_t {
+    kRandom = 0,  // independent geometric samples -> counts observations
+    kHashed = 1,  // item-hash derived -> counts distinct values
+    kSumOdi = 2,  // value-weighted observations -> estimates SUM ([2]);
+                  // the register state stays merge-idempotent, so it rides
+                  // multipath aggregation unharmed
+  };
+  struct Request {
+    Predicate pred = Predicate::always_true();
+    std::uint16_t registers = 64;  // m, a power of two
+    std::uint8_t width = 5;        // register width in bits
+    Mode mode = Mode::kRandom;
+    std::uint16_t salt = 0;        // distinguishes hashed repetitions
+  };
+  using Partial = sketch::RegisterArray;
+
+  static void encode_request(BitWriter& w, const Request& req);
+  static Request decode_request(BitReader& r);
+  static void encode_partial(BitWriter& w, const Partial& p, const Request&);
+  static Partial decode_partial(BitReader& r, const Request& req);
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const LocalItemView& view);
+  static void combine(Partial& acc, const Partial& in, const Request&);
+};
+
+// ---------------------------------------------------------------------------
+// COLLECT: ship every matching item uptree (sorted multiset). The TAG-style
+// "holistic aggregate" baseline — linear individual communication.
+// ---------------------------------------------------------------------------
+struct CollectAgg {
+  struct Request {
+    Predicate pred = Predicate::always_true();
+  };
+  using Partial = ValueSet;  // kept sorted ascending
+
+  static void encode_request(BitWriter& w, const Request& req);
+  static Request decode_request(BitReader& r);
+  static void encode_partial(BitWriter& w, const Partial& p, const Request&);
+  static Partial decode_partial(BitReader& r, const Request&);
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const LocalItemView& view);
+  static void combine(Partial& acc, const Partial& in, const Request&);
+};
+
+// ---------------------------------------------------------------------------
+// DISTINCT-SET: union of distinct matching values (exact COUNT_DISTINCT's
+// only sublinear-free option, Section 5). Encoded as ascending gaps.
+// ---------------------------------------------------------------------------
+struct DistinctSetAgg {
+  struct Request {
+    Predicate pred = Predicate::always_true();
+  };
+  using Partial = ValueSet;  // sorted, unique
+
+  static void encode_request(BitWriter& w, const Request& req);
+  static Request decode_request(BitReader& r);
+  static void encode_partial(BitWriter& w, const Partial& p, const Request&);
+  static Partial decode_partial(BitReader& r, const Request&);
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const LocalItemView& view);
+  static void combine(Partial& acc, const Partial& in, const Request&);
+};
+
+// ---------------------------------------------------------------------------
+// SAMPLE: Bernoulli(p) subsample of matching items (the [10]-style uniform
+// sampling synopsis). p is a 20-bit fixed-point fraction in the request.
+// ---------------------------------------------------------------------------
+struct SampleAgg {
+  static constexpr std::uint32_t kProbOne = 1u << 20;
+  struct Request {
+    Predicate pred = Predicate::always_true();
+    std::uint32_t prob_fp = kProbOne;  // inclusion probability * 2^20
+  };
+  using Partial = ValueSet;  // sorted list of sampled values
+
+  static void encode_request(BitWriter& w, const Request& req);
+  static Request decode_request(BitReader& r);
+  static void encode_partial(BitWriter& w, const Partial& p, const Request&);
+  static Partial decode_partial(BitReader& r, const Request&);
+  static Partial local(sim::Network& net, NodeId node, const Request& req,
+                       const LocalItemView& view);
+  static void combine(Partial& acc, const Partial& in, const Request&);
+};
+
+}  // namespace sensornet::proto

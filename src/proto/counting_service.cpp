@@ -1,0 +1,28 @@
+#include "src/proto/counting_service.hpp"
+
+#include "src/proto/aggregations.hpp"
+#include "src/proto/tree_wave.hpp"
+
+namespace sensornet::proto {
+
+TreeCountingService::TreeCountingService(sim::Network& net,
+                                         const net::SpanningTree& tree,
+                                         const LocalItemView& view)
+    : net_(net), tree_(tree), view_(view) {}
+
+std::uint64_t TreeCountingService::count(const Predicate& pred) {
+  TreeWave<CountAgg> wave(tree_, next_session_++, view_);
+  return wave.execute(net_, CountAgg::Request{pred});
+}
+
+std::optional<Value> TreeCountingService::min_value() {
+  TreeWave<MinAgg> wave(tree_, next_session_++, view_);
+  return wave.execute(net_, MinAgg::Request{Predicate::always_true()});
+}
+
+std::optional<Value> TreeCountingService::max_value() {
+  TreeWave<MaxAgg> wave(tree_, next_session_++, view_);
+  return wave.execute(net_, MaxAgg::Request{Predicate::always_true()});
+}
+
+}  // namespace sensornet::proto

@@ -1,0 +1,62 @@
+// Exact counting primitives as an abstract service.
+//
+// The paper's algorithms are "completely indifferent to the underlying
+// communication mechanism": they only assume protocols for MIN, MAX and
+// COUNT(P) exist (Section 2.2). CountingService is that assumption as an
+// interface; the median drivers in src/core are written against it, and the
+// tree and single-hop implementations plug in underneath.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/types.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/proto/item_view.hpp"
+#include "src/proto/predicate.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::proto {
+
+class CountingService {
+ public:
+  virtual ~CountingService() = default;
+
+  /// Exact number of items satisfying `pred` (one COUNTP invocation).
+  virtual std::uint64_t count(const Predicate& pred) = 0;
+
+  /// Smallest / largest item (empty when no node holds an item).
+  virtual std::optional<Value> min_value() = 0;
+  virtual std::optional<Value> max_value() = 0;
+
+  /// The network the service runs on (for accounting).
+  virtual sim::Network& network() = 0;
+
+  /// COUNT(X) == COUNTP(TRUE).
+  std::uint64_t count_all() { return count(Predicate::always_true()); }
+};
+
+/// Fact 2.1's implementation: one broadcast-convergecast wave per query over
+/// a spanning tree.
+class TreeCountingService final : public CountingService {
+ public:
+  /// `tree` and `view` must outlive the service.
+  TreeCountingService(sim::Network& net, const net::SpanningTree& tree,
+                      const LocalItemView& view = raw_item_view());
+
+  std::uint64_t count(const Predicate& pred) override;
+  std::optional<Value> min_value() override;
+  std::optional<Value> max_value() override;
+  sim::Network& network() override { return net_; }
+
+  /// Waves issued so far (each costs one session id).
+  std::uint32_t waves() const { return next_session_; }
+
+ private:
+  sim::Network& net_;
+  const net::SpanningTree& tree_;
+  const LocalItemView& view_;
+  std::uint32_t next_session_ = 0;
+};
+
+}  // namespace sensornet::proto

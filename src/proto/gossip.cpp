@@ -1,0 +1,108 @@
+#include "src/proto/gossip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::proto {
+
+namespace {
+
+/// 32-bit fixed point with 20 fractional bits: values up to ~2000 with
+/// ~1e-6 resolution — enough headroom for (value, weight) pairs, whose
+/// magnitudes stay within [0, 2] after the first round (mass conservation).
+constexpr unsigned kFracBits = 20;
+
+std::uint32_t to_fixed(double v) {
+  return static_cast<std::uint32_t>(
+      std::llround(std::clamp(v, 0.0, 2047.0) * (1u << kFracBits)));
+}
+
+double from_fixed(std::uint32_t v) {
+  return static_cast<double>(v) / (1u << kFracBits);
+}
+
+struct PushSumState {
+  std::vector<double> value;
+  std::vector<double> weight;
+};
+
+class PushHandler final : public sim::ProtocolHandler {
+ public:
+  explicit PushHandler(PushSumState& state) : state_(state) {}
+
+  void on_message(sim::Network&, NodeId receiver,
+                  const sim::Message& msg) override {
+    BitReader r = msg.reader();
+    state_.value[receiver] += from_fixed(
+        static_cast<std::uint32_t>(r.read_bits(32)));
+    state_.weight[receiver] += from_fixed(
+        static_cast<std::uint32_t>(r.read_bits(32)));
+  }
+
+ private:
+  PushSumState& state_;
+};
+
+}  // namespace
+
+GossipCountResult gossip_count(sim::Network& net, NodeId root,
+                               unsigned rounds) {
+  SENSORNET_EXPECTS(root < net.node_count());
+  SENSORNET_EXPECTS(rounds >= 1);
+  // Fixed-point headroom: a node's value can approach N, which must fit in
+  // the 12 integer bits of the wire format.
+  SENSORNET_EXPECTS(net.node_count() <= 2000);
+  const std::size_t n = net.node_count();
+
+  PushSumState state;
+  state.value.assign(n, 1.0);   // each node contributes one unit of count
+  state.weight.assign(n, 0.0);  // all weight starts at the root
+  state.weight[root] = 1.0;
+
+  PushHandler handler(state);
+  for (unsigned round = 0; round < rounds; ++round) {
+    // Synchronous round: every node halves its mass and pushes one share to
+    // a random neighbor. Sends are enqueued against the pre-round state
+    // (the halving happens locally first, which conserves mass exactly up
+    // to fixed-point rounding).
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& neighbors = net.graph().neighbors(u);
+      if (neighbors.empty()) continue;
+      const NodeId target = neighbors[net.rng(u).next_below(neighbors.size())];
+      // Transmit the quantized half and keep the exact remainder, so mass
+      // is conserved bit-for-bit despite the fixed-point wire format.
+      const std::uint32_t v_wire = to_fixed(state.value[u] / 2.0);
+      const std::uint32_t w_wire = to_fixed(state.weight[u] / 2.0);
+      state.value[u] -= from_fixed(v_wire);
+      state.weight[u] -= from_fixed(w_wire);
+      BitWriter w;
+      w.write_bits(v_wire, 32);
+      w.write_bits(w_wire, 32);
+      net.send(sim::Message::make(u, target, /*session=*/0x6100 + round,
+                                  /*kind=*/1, std::move(w)));
+    }
+    net.run(handler);
+  }
+
+  GossipCountResult res;
+  res.rounds = rounds;
+  const auto estimate = [&](NodeId u) {
+    return state.weight[u] > 1e-12 ? state.value[u] / state.weight[u] : 0.0;
+  };
+  res.root_estimate = estimate(root);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    const double e = estimate(u);
+    if (e <= 0.0) continue;  // weight hasn't reached this node yet
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  res.disagreement = (lo > 0.0 && hi > 0.0) ? hi / lo - 1.0 : 1e9;
+  return res;
+}
+
+}  // namespace sensornet::proto

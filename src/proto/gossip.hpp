@@ -1,0 +1,39 @@
+// Push-sum gossip counting (Kempe-Dobra-Gehrke [6], the paper's randomized
+// point of comparison: exact order statistics by gossip at O((log N)^3) bits
+// per node on well-mixing graphs).
+//
+// Push-sum computes an average: every node u holds a pair (value_u,
+// weight_u); each round it keeps half and pushes half to a uniformly random
+// neighbor. value/weight converges to sum(value)/sum(weight) at every node
+// at a rate governed by the graph's mixing time. Seeding value_u = 1
+// everywhere and weight_root = 1 (0 elsewhere) makes value/weight -> N:
+// distributed COUNT with no tree at all.
+//
+// Wire format: two 32-bit fixed-point numbers per push — the per-round
+// per-node cost is O(1) words, so rounds ~ mixing time gives the [6]
+// polylog total on expanders (and visibly worse convergence on lines, which
+// the tests check).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/network.hpp"
+
+namespace sensornet::proto {
+
+struct GossipCountResult {
+  /// The root's estimate of N after the final round.
+  double root_estimate = 0.0;
+  /// Relative spread of node estimates in the final round (max/min - 1),
+  /// a convergence diagnostic: ~0 once mixed.
+  double disagreement = 0.0;
+  unsigned rounds = 0;
+};
+
+/// Runs `rounds` synchronous push-sum rounds. Each node pushes to one
+/// uniformly random neighbor per round (using its own random stream).
+GossipCountResult gossip_count(sim::Network& net, NodeId root,
+                               unsigned rounds);
+
+}  // namespace sensornet::proto

@@ -1,0 +1,29 @@
+// Which items a protocol sees at each node.
+//
+// Plain queries aggregate the node's raw readings. Multi-stage algorithms
+// (Fig. 4) maintain node-local *session* state — rescaled values, passive
+// flags — and their waves must evaluate predicates against that state. A
+// LocalItemView abstracts the choice; it only ever exposes state that is
+// physically resident at the node (session state is installed by broadcast
+// handlers, never by root-side fiat), so the bit meter stays honest.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::proto {
+
+class LocalItemView {
+ public:
+  virtual ~LocalItemView() = default;
+
+  /// The items protocol waves should aggregate at `node`.
+  virtual ValueSet items(sim::Network& net, NodeId node) const {
+    return net.items(node);
+  }
+};
+
+/// The default view: the node's raw readings.
+const LocalItemView& raw_item_view();
+
+}  // namespace sensornet::proto

@@ -1,0 +1,112 @@
+#include "src/proto/multipath.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/sketch/loglog.hpp"
+
+namespace sensornet::proto {
+
+namespace {
+
+/// Handler that merges every delivered register array into the receiver's
+/// running state. Coverage tracking (which nodes' contributions are present)
+/// is simulation-side instrumentation carried in a parallel bitset keyed by
+/// message index — the wire carries only the registers.
+class MergeHandler final : public sim::ProtocolHandler {
+ public:
+  MergeHandler(std::vector<sketch::RegisterArray>& state,
+               std::vector<std::vector<bool>>& coverage,
+               const LogLogAgg::Request& request)
+      : state_(state), coverage_(coverage), request_(request) {}
+
+  void on_message(sim::Network&, NodeId receiver,
+                  const sim::Message& msg) override {
+    BitReader r = msg.reader();
+    const auto incoming = sketch::RegisterArray::decode(r, request_.registers,
+                                                        request_.width);
+    state_[receiver].merge(incoming);
+    // The sender's coverage set travels conceptually with its synopsis; we
+    // track it out of band (same information, zero extra wire bits — the
+    // registers *are* the synopsis).
+    const auto& sender_cov = coverage_[msg.from];
+    auto& mine = coverage_[receiver];
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      if (sender_cov[i]) mine[i] = true;
+    }
+  }
+
+ private:
+  std::vector<sketch::RegisterArray>& state_;
+  std::vector<std::vector<bool>>& coverage_;
+  const LogLogAgg::Request& request_;
+};
+
+}  // namespace
+
+MultipathResult multipath_loglog_sweep(sim::Network& net, NodeId root,
+                                       const LogLogAgg::Request& request,
+                                       const LocalItemView& view) {
+  SENSORNET_EXPECTS(root < net.node_count());
+  const std::size_t n = net.node_count();
+
+  // Ring formation: hop distance from the root (a BFS; deployed systems
+  // learn this once from beacon floods).
+  std::vector<std::uint32_t> ring(n, ~0u);
+  std::deque<NodeId> queue{root};
+  ring[root] = 0;
+  std::uint32_t max_ring = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const NodeId v : net.graph().neighbors(u)) {
+      if (ring[v] != ~0u) continue;
+      ring[v] = ring[u] + 1;
+      max_ring = std::max(max_ring, ring[v]);
+      queue.push_back(v);
+    }
+  }
+  for (const auto r : ring) {
+    if (r == ~0u) throw ProtocolError("multipath: graph is disconnected");
+  }
+
+  // Local fold: every node seeds its own register state.
+  std::vector<sketch::RegisterArray> state(
+      n, sketch::RegisterArray(request.registers, request.width));
+  std::vector<std::vector<bool>> coverage(n, std::vector<bool>(n, false));
+  for (NodeId u = 0; u < n; ++u) {
+    state[u] = LogLogAgg::local(net, u, request, view);
+    coverage[u][u] = true;
+  }
+
+  MergeHandler handler(state, coverage, request);
+
+  // Slotted sweep: outermost ring first; every node transmits its current
+  // merged state to every downhill neighbor. Within a slot all nodes of the
+  // ring transmit; the run() drains before the next (inner) ring fires, so
+  // a ring-d node's state already folds everything that survived from
+  // rings > d.
+  for (std::uint32_t d = max_ring; d >= 1; --d) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (ring[u] != d) continue;
+      for (const NodeId v : net.graph().neighbors(u)) {
+        if (ring[v] != d - 1) continue;
+        BitWriter w;
+        state[u].encode(w);
+        net.send(sim::Message::make(u, v, /*session=*/0x5000 + d,
+                                    /*kind=*/1, std::move(w)));
+      }
+    }
+    net.run(handler);
+  }
+
+  MultipathResult result{std::move(state[root]), 0};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (coverage[root][i]) ++result.covered_nodes;
+  }
+  return result;
+}
+
+}  // namespace sensornet::proto

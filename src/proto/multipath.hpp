@@ -1,0 +1,44 @@
+// Multipath ("synopsis diffusion") aggregation — the robustness alternative
+// the paper points at ([2], [10]; Section 2.2: with duplicate-insensitive
+// state "the requirement for a spanning tree is not necessary").
+//
+// Nodes are organized into rings by hop distance from the root. Aggregation
+// sweeps ring by ring: every node in ring d transmits its merged register
+// state to ALL its neighbors in ring d-1. Because the state is an ODI
+// (order- and duplicate-insensitive) max-register array, receiving the same
+// contribution over several paths is harmless — so a lost message only hurts
+// if *every* path carrying that contribution is lost. Contrast with a tree
+// wave, where one lost response silently deletes an entire subtree (and our
+// TreeWave driver detects the stall and throws).
+//
+// Cost: each node sends its registers once per downhill neighbor — the
+// multipath redundancy multiplies Fact 2.2's per-node bits by the downhill
+// degree, which is the price of robustness.
+#pragma once
+
+#include <cstdint>
+
+#include "src/proto/aggregations.hpp"
+#include "src/proto/item_view.hpp"
+#include "src/sim/network.hpp"
+#include "src/sketch/registers.hpp"
+
+namespace sensornet::proto {
+
+struct MultipathResult {
+  sketch::RegisterArray registers;
+  /// Nodes whose contribution reached the root through >= 1 path. With no
+  /// loss this equals the node count; under loss it measures coverage.
+  std::size_t covered_nodes = 0;
+};
+
+/// One ODI aggregation sweep over the ring structure rooted at `root`.
+/// The request's predicate/mode/salt semantics match LogLogAgg. Rings are
+/// derived from the current graph by BFS (standard "ring formation" phase);
+/// the sweep itself uses raw flooding, no tree.
+MultipathResult multipath_loglog_sweep(sim::Network& net, NodeId root,
+                                       const LogLogAgg::Request& request,
+                                       const LocalItemView& view =
+                                           raw_item_view());
+
+}  // namespace sensornet::proto

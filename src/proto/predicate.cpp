@@ -1,0 +1,64 @@
+#include "src/proto/predicate.hpp"
+
+#include "src/common/codec.hpp"
+#include "src/common/error.hpp"
+
+namespace sensornet::proto {
+
+Predicate Predicate::always_true() { return Predicate(Op::kTrue, 0); }
+
+Predicate Predicate::less_than(Value y) {
+  return Predicate(Op::kLess, 2 * y);
+}
+
+Predicate Predicate::less_than_half_units(std::int64_t threshold2) {
+  return Predicate(Op::kLess, threshold2);
+}
+
+Predicate Predicate::greater_equal(Value y) {
+  return Predicate(Op::kGreaterEq, 2 * y);
+}
+
+bool Predicate::matches(Value x) const {
+  switch (op_) {
+    case Op::kTrue: return true;
+    case Op::kLess: return 2 * x < threshold2_;
+    case Op::kGreaterEq: return 2 * x >= threshold2_;
+  }
+  return false;
+}
+
+void Predicate::encode(BitWriter& w) const {
+  w.write_bits(static_cast<std::uint64_t>(op_), 2);
+  if (op_ != Op::kTrue) {
+    // Zigzag-coded: binary-search pivots may legitimately step below 0 or
+    // above X while the certified interval still contains the answer.
+    encode_int(w, threshold2_);
+  }
+}
+
+Predicate Predicate::decode(BitReader& r) {
+  const auto op = static_cast<Op>(r.read_bits(2));
+  switch (op) {
+    case Op::kTrue: return always_true();
+    case Op::kLess:
+    case Op::kGreaterEq:
+      return Predicate(op, decode_int(r));
+  }
+  throw WireFormatError("Predicate: unknown opcode");
+}
+
+std::string Predicate::to_string() const {
+  switch (op_) {
+    case Op::kTrue: return "TRUE";
+    case Op::kLess:
+      return "x < " + std::to_string(threshold2_ / 2) +
+             (threshold2_ % 2 ? ".5" : "");
+    case Op::kGreaterEq:
+      return "x >= " + std::to_string(threshold2_ / 2) +
+             (threshold2_ % 2 ? ".5" : "");
+  }
+  return "?";
+}
+
+}  // namespace sensornet::proto

@@ -1,0 +1,58 @@
+// Locally computable predicates, shipped inside COUNTP requests.
+//
+// Section 3.1 requires that a predicate be representable in O(C_COUNT(N))
+// bits; ours is an opcode plus one Elias-delta coded threshold. Thresholds
+// live in the *doubled domain* (threshold2 == 2y) so the half-integral pivots
+// of Fig. 1 ("y is an integer or an integer + 1/2") are encoded exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bitio.hpp"
+#include "src/common/types.hpp"
+
+namespace sensornet::proto {
+
+class Predicate {
+ public:
+  enum class Op : std::uint8_t {
+    kTrue = 0,       // satisfied by every item (COUNTP(TRUE) == COUNT)
+    kLess = 1,       // x < threshold2 / 2
+    kGreaterEq = 2,  // x >= threshold2 / 2
+  };
+
+  /// The always-true predicate.
+  static Predicate always_true();
+
+  /// x < y for integral y.
+  static Predicate less_than(Value y);
+
+  /// x < t/2 where t = twice the (possibly half-integral) bound; this is the
+  /// exact form Fig. 1's binary search needs.
+  static Predicate less_than_half_units(std::int64_t threshold2);
+
+  /// x >= y for integral y.
+  static Predicate greater_equal(Value y);
+
+  bool matches(Value x) const;
+
+  Op op() const { return op_; }
+  std::int64_t threshold2() const { return threshold2_; }
+
+  /// Wire format: 2-bit opcode [+ Elias-delta threshold].
+  void encode(BitWriter& w) const;
+  static Predicate decode(BitReader& r);
+
+  std::string to_string() const;
+
+  bool operator==(const Predicate&) const = default;
+
+ private:
+  Predicate(Op op, std::int64_t threshold2) : op_(op), threshold2_(threshold2) {}
+
+  Op op_ = Op::kTrue;
+  std::int64_t threshold2_ = 0;
+};
+
+}  // namespace sensornet::proto

@@ -1,0 +1,92 @@
+#include "src/proto/singlehop.hpp"
+
+#include "src/common/error.hpp"
+
+namespace sensornet::proto {
+
+SingleHopCountingService::SingleHopCountingService(sim::Network& net,
+                                                   NodeId root,
+                                                   Value max_value_bound)
+    : net_(net), root_(root), max_value_bound_(max_value_bound) {
+  SENSORNET_EXPECTS(root < net.node_count());
+  SENSORNET_EXPECTS(max_value_bound >= 0);
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    SENSORNET_EXPECTS(net.items(u).size() <= 1);
+  }
+}
+
+std::uint64_t SingleHopCountingService::count(const Predicate& pred) {
+  const std::uint32_t session = next_session_++;
+  tally_ = 0;
+  // Root's own item is tallied locally, without radio traffic.
+  for (const Value x : net_.items(root_)) {
+    if (pred.matches(x)) ++tally_;
+  }
+  if (net_.node_count() > 1) {
+    BitWriter w;
+    pred.encode(w);
+    net_.send_medium(sim::Message::make(root_, kNoNode, session, kRequestKind,
+                                        std::move(w)));
+    net_.run(*this);
+  }
+  return tally_;
+}
+
+void SingleHopCountingService::on_message(sim::Network& net, NodeId receiver,
+                                          const sim::Message& msg) {
+  if (msg.kind == kRequestKind) {
+    if (receiver == root_) return;  // root ignores echoes of its own request
+    BitReader r = msg.reader();
+    const Predicate pred = Predicate::decode(r);
+    bool present = false;
+    for (const Value x : net.items(receiver)) {
+      if (pred.matches(x)) present = true;
+    }
+    // One slot, one bit — heard (and paid for) by everyone.
+    BitWriter w;
+    w.write_bit(present);
+    net.send_medium(sim::Message::make(receiver, kNoNode, msg.session,
+                                       kPresenceKind, std::move(w)));
+  } else if (msg.kind == kPresenceKind) {
+    if (receiver != root_) return;  // other nodes overhear but don't act
+    BitReader r = msg.reader();
+    if (r.read_bit()) ++tally_;
+  } else {
+    throw ProtocolError("SingleHopCountingService: unknown message kind");
+  }
+}
+
+std::optional<Value> SingleHopCountingService::min_value() {
+  if (count_all() == 0) return std::nullopt;
+  // Smallest y with count(x < y+1) >= 1, by binary search over [0, X].
+  Value lo = 0;
+  Value hi = max_value_bound_;
+  while (lo < hi) {
+    const Value mid = lo + (hi - lo) / 2;
+    if (count(Predicate::less_than(mid + 1)) >= 1) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::optional<Value> SingleHopCountingService::max_value() {
+  const std::uint64_t n = count_all();
+  if (n == 0) return std::nullopt;
+  // Largest y with count(x < y) < n, i.e. some item >= y; binary search.
+  Value lo = 0;
+  Value hi = max_value_bound_;
+  while (lo < hi) {
+    const Value mid = lo + (hi - lo + 1) / 2;
+    if (count(Predicate::less_than(mid)) < n) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sensornet::proto

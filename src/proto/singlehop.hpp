@@ -1,0 +1,48 @@
+// Single-hop ("all hear all") counting, the model of Singh & Prasanna [14].
+//
+// The deployment is a complete graph with a shared radio medium: one
+// transmission is heard — and paid for — by every node. COUNTP costs each
+// non-root node a single transmitted presence bit while every node receives
+// ~N bits; driving a value-domain binary search over this service reproduces
+// [14]'s profile (transmit O(log N), receive O(N log N) per node).
+#pragma once
+
+#include <cstdint>
+
+#include "src/proto/counting_service.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::proto {
+
+class SingleHopCountingService final : public CountingService,
+                                       private sim::ProtocolHandler {
+ public:
+  /// `net` must be a complete graph. `max_value_bound` is the known upper
+  /// bound X on item values (used by min/max binary searches). Every node
+  /// must hold at most one item (the [14] model).
+  SingleHopCountingService(sim::Network& net, NodeId root,
+                           Value max_value_bound);
+
+  std::uint64_t count(const Predicate& pred) override;
+  std::optional<Value> min_value() override;
+  std::optional<Value> max_value() override;
+  sim::Network& network() override { return net_; }
+
+  /// Slotted rounds executed so far (one per COUNTP).
+  std::uint32_t rounds() const { return next_session_; }
+
+ private:
+  void on_message(sim::Network& net, NodeId receiver,
+                  const sim::Message& msg) override;
+
+  static constexpr std::uint16_t kRequestKind = 1;
+  static constexpr std::uint16_t kPresenceKind = 2;
+
+  sim::Network& net_;
+  NodeId root_;
+  Value max_value_bound_;
+  std::uint32_t next_session_ = 0;
+  std::uint64_t tally_ = 0;  // presence bits summed at the root
+};
+
+}  // namespace sensornet::proto

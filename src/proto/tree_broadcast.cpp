@@ -1,0 +1,46 @@
+#include "src/proto/tree_broadcast.hpp"
+
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::proto {
+
+TreeBroadcast::TreeBroadcast(const net::SpanningTree& tree,
+                             std::uint32_t session, Apply apply)
+    : tree_(tree), session_(session), apply_(std::move(apply)) {}
+
+void TreeBroadcast::execute(sim::Network& net, BitWriter&& payload) {
+  SENSORNET_EXPECTS(net.node_count() == tree_.node_count());
+  const auto bits = static_cast<std::uint32_t>(payload.bit_count());
+  const std::vector<std::uint8_t> bytes = payload.take_bytes();
+  apply_(net, tree_.root, BitReader(bytes.data(), bits));
+  forward(net, tree_.root, bytes, bits);
+  net.run(*this);
+}
+
+void TreeBroadcast::on_message(sim::Network& net, NodeId receiver,
+                               const sim::Message& msg) {
+  if (msg.session != session_ || msg.kind != kBroadcastKind) {
+    throw ProtocolError("TreeBroadcast: unexpected message");
+  }
+  apply_(net, receiver, msg.reader());
+  forward(net, receiver, msg.payload, msg.payload_bits);
+}
+
+void TreeBroadcast::forward(sim::Network& net, NodeId node,
+                            const std::vector<std::uint8_t>& payload,
+                            std::uint32_t payload_bits) {
+  for (const NodeId child : tree_.children[node]) {
+    sim::Message m;
+    m.from = node;
+    m.to = child;
+    m.session = session_;
+    m.kind = kBroadcastKind;
+    m.payload = payload;
+    m.payload_bits = payload_bits;
+    net.send(std::move(m));
+  }
+}
+
+}  // namespace sensornet::proto

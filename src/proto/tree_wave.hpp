@@ -1,0 +1,140 @@
+// Generic broadcast-convergecast wave over a spanning tree.
+//
+// One wave = the root floods an encoded request down the tree; every node
+// computes a local partial aggregate from its (view of its) items; leaves
+// answer immediately and internal nodes fold children's partials into their
+// own before answering — the TAG-style in-network aggregation that Fact 2.1
+// builds on. The engine is a template over an AggregationSpec, so the same
+// carefully-tested state machine carries every protocol in the library.
+//
+// Individual communication per wave: each node sends/receives one request
+// per tree edge it touches and one response, so a node of tree-degree d pays
+// d * (|request| + |partial|) bits — with bounded-degree trees and O(log N)
+// partials this is Fact 2.1's O(log N) per node.
+#pragma once
+
+#include <concepts>
+#include <optional>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/proto/item_view.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::proto {
+
+/// What a type must provide to ride the wave engine.
+template <typename A>
+concept AggregationSpec = requires(BitWriter& w, BitReader& r,
+                                   const typename A::Request& req,
+                                   typename A::Partial& acc,
+                                   const typename A::Partial& in,
+                                   sim::Network& net, NodeId id,
+                                   const LocalItemView& view) {
+  { A::encode_request(w, req) };
+  { A::decode_request(r) } -> std::same_as<typename A::Request>;
+  { A::encode_partial(w, in, req) };
+  { A::decode_partial(r, req) } -> std::same_as<typename A::Partial>;
+  { A::local(net, id, req, view) } -> std::same_as<typename A::Partial>;
+  { A::combine(acc, in, req) };
+};
+
+template <AggregationSpec A>
+class TreeWave final : public sim::ProtocolHandler {
+ public:
+  using Request = typename A::Request;
+  using Partial = typename A::Partial;
+
+  /// The tree and view must outlive the wave.
+  TreeWave(const net::SpanningTree& tree, std::uint32_t session,
+           const LocalItemView& view = raw_item_view())
+      : tree_(tree), view_(view), session_(session) {}
+
+  /// Runs one complete wave; returns the root's aggregate.
+  Partial execute(sim::Network& net, const Request& request) {
+    SENSORNET_EXPECTS(net.node_count() == tree_.node_count());
+    state_.assign(tree_.node_count(), NodeState{});
+    root_result_.reset();
+    start_node(net, tree_.root, request);
+    net.run(*this);
+    if (!root_result_) {
+      throw ProtocolError("TreeWave: wave drained without a root result");
+    }
+    return std::move(*root_result_);
+  }
+
+  void on_message(sim::Network& net, NodeId receiver,
+                  const sim::Message& msg) override {
+    if (msg.session != session_) {
+      throw ProtocolError("TreeWave: message for a foreign session");
+    }
+    if (msg.kind == kRequestKind) {
+      BitReader r = msg.reader();
+      start_node(net, receiver, A::decode_request(r));
+    } else if (msg.kind == kResponseKind) {
+      NodeState& st = state_[receiver];
+      if (!st.request || st.pending == 0) {
+        throw ProtocolError("TreeWave: unexpected response");
+      }
+      BitReader r = msg.reader();
+      Partial in = A::decode_partial(r, *st.request);
+      A::combine(*st.acc, in, *st.request);
+      if (--st.pending == 0) finish_node(net, receiver);
+    } else {
+      throw ProtocolError("TreeWave: unknown message kind");
+    }
+  }
+
+ private:
+  static constexpr std::uint16_t kRequestKind = 1;
+  static constexpr std::uint16_t kResponseKind = 2;
+
+  struct NodeState {
+    std::optional<Request> request;
+    std::optional<Partial> acc;
+    std::size_t pending = 0;
+  };
+
+  /// A node learns the request: compute local contribution, forward the
+  /// request to children, or answer right away at a leaf.
+  void start_node(sim::Network& net, NodeId node, Request request) {
+    NodeState& st = state_[node];
+    if (st.request) throw ProtocolError("TreeWave: node started twice");
+    st.request = std::move(request);
+    st.acc = A::local(net, node, *st.request, view_);
+    const auto& children = tree_.children[node];
+    st.pending = children.size();
+    if (st.pending == 0) {
+      finish_node(net, node);
+      return;
+    }
+    for (const NodeId child : children) {
+      BitWriter w;
+      A::encode_request(w, *st.request);
+      net.send(sim::Message::make(node, child, session_, kRequestKind,
+                                  std::move(w)));
+    }
+  }
+
+  /// All children answered: report to the parent (or finish at the root).
+  void finish_node(sim::Network& net, NodeId node) {
+    NodeState& st = state_[node];
+    if (node == tree_.root) {
+      root_result_ = std::move(st.acc);
+      return;
+    }
+    BitWriter w;
+    A::encode_partial(w, *st.acc, *st.request);
+    net.send(sim::Message::make(node, tree_.parent[node], session_,
+                                kResponseKind, std::move(w)));
+  }
+
+  const net::SpanningTree& tree_;
+  const LocalItemView& view_;
+  std::uint32_t session_;
+  std::vector<NodeState> state_;
+  std::optional<Partial> root_result_;
+};
+
+}  // namespace sensornet::proto

@@ -1,0 +1,46 @@
+// Abstract syntax for the TAG/TinyDB-flavoured aggregate query language.
+//
+//   SELECT MEDIAN(temp) FROM sensors WHERE temp >= 10 ERROR 0.01 CONFIDENCE 0.9
+//
+// One aggregate per query over the single reading attribute; an optional
+// WHERE compare-with-literal; ERROR opts into the paper's approximate
+// protocols (its meaning per aggregate is documented on the planner).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace sensornet::query {
+
+enum class AggKind {
+  kMin,
+  kMax,
+  kCount,
+  kSum,
+  kAvg,
+  kMedian,
+  kQuantile,        // QUANTILE(attr, phi) with phi in (0,1)
+  kCountDistinct,
+};
+
+const char* agg_name(AggKind k);
+
+struct Condition {
+  enum class Cmp { kLt, kLe, kGt, kGe };
+  Cmp cmp = Cmp::kLt;
+  Value literal = 0;
+};
+
+struct Query {
+  AggKind agg = AggKind::kCount;
+  std::string attribute;          // e.g. "temp" (one attribute per node)
+  double quantile_phi = 0.5;      // only for kQuantile
+  std::optional<Condition> where;
+  std::optional<double> error;    // requested approximation knob
+  double confidence = 0.95;       // 1 - epsilon for randomized protocols
+  std::string text;               // original query text (diagnostics)
+};
+
+}  // namespace sensornet::query

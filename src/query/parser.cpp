@@ -1,0 +1,179 @@
+#include "src/query/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "src/query/lexer.hpp"
+
+namespace sensornet::query {
+
+const char* agg_name(AggKind k) {
+  switch (k) {
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+    case AggKind::kCount: return "COUNT";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kAvg: return "AVG";
+    case AggKind::kMedian: return "MEDIAN";
+    case AggKind::kQuantile: return "QUANTILE";
+    case AggKind::kCountDistinct: return "COUNT_DISTINCT";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text)
+      : tokens_(tokenize(text)), text_(text) {}
+
+  Query parse() {
+    Query q;
+    q.text = text_;
+    expect_keyword("SELECT");
+    parse_aggregate(q);
+    expect_keyword("FROM");
+    expect(TokenKind::kIdent, "table name");
+    advance();
+    if (at_keyword("WHERE")) {
+      advance();
+      q.where = parse_condition();
+    }
+    if (at_keyword("ERROR")) {
+      advance();
+      const double e = expect_number("error bound");
+      if (e <= 0.0 || e >= 1.0) {
+        throw QueryError("ERROR must be in (0, 1)", previous_position_);
+      }
+      q.error = e;
+    }
+    if (at_keyword("CONFIDENCE")) {
+      advance();
+      const double c = expect_number("confidence");
+      if (c <= 0.0 || c >= 1.0) {
+        throw QueryError("CONFIDENCE must be in (0, 1)", previous_position_);
+      }
+      q.confidence = c;
+    }
+    if (current().kind == TokenKind::kSemicolon) advance();
+    if (current().kind != TokenKind::kEnd) {
+      throw QueryError("trailing input after query", current().position);
+    }
+    return q;
+  }
+
+ private:
+  const Token& current() const { return tokens_[pos_]; }
+
+  void advance() {
+    previous_position_ = current().position;
+    if (current().kind != TokenKind::kEnd) ++pos_;
+  }
+
+  bool at_keyword(const char* kw) const {
+    return current().kind == TokenKind::kIdent && upper(current().text) == kw;
+  }
+
+  void expect_keyword(const char* kw) {
+    if (!at_keyword(kw)) {
+      throw QueryError(std::string("expected '") + kw + "'",
+                       current().position);
+    }
+    advance();
+  }
+
+  void expect(TokenKind kind, const char* what) {
+    if (current().kind != kind) {
+      throw QueryError(std::string("expected ") + what, current().position);
+    }
+  }
+
+  double expect_number(const char* what) {
+    expect(TokenKind::kNumber, what);
+    const double v = current().number;
+    advance();
+    return v;
+  }
+
+  void parse_aggregate(Query& q) {
+    expect(TokenKind::kIdent, "aggregate name");
+    const std::string name = upper(current().text);
+    if (name == "MIN") q.agg = AggKind::kMin;
+    else if (name == "MAX") q.agg = AggKind::kMax;
+    else if (name == "COUNT") q.agg = AggKind::kCount;
+    else if (name == "SUM") q.agg = AggKind::kSum;
+    else if (name == "AVG") q.agg = AggKind::kAvg;
+    else if (name == "MEDIAN") q.agg = AggKind::kMedian;
+    else if (name == "QUANTILE") q.agg = AggKind::kQuantile;
+    else if (name == "COUNT_DISTINCT") q.agg = AggKind::kCountDistinct;
+    else throw QueryError("unknown aggregate '" + current().text + "'",
+                          current().position);
+    advance();
+
+    if (current().kind != TokenKind::kLParen) {
+      throw QueryError("expected '(' after aggregate", current().position);
+    }
+    advance();
+    expect(TokenKind::kIdent, "attribute name");
+    q.attribute = current().text;
+    advance();
+    if (q.agg == AggKind::kQuantile) {
+      if (current().kind != TokenKind::kComma) {
+        throw QueryError("QUANTILE needs a rank fraction", current().position);
+      }
+      advance();
+      const double phi = expect_number("quantile fraction");
+      if (phi <= 0.0 || phi >= 1.0) {
+        throw QueryError("quantile fraction must be in (0, 1)",
+                         previous_position_);
+      }
+      q.quantile_phi = phi;
+    }
+    if (current().kind != TokenKind::kRParen) {
+      throw QueryError("expected ')'", current().position);
+    }
+    advance();
+  }
+
+  Condition parse_condition() {
+    expect(TokenKind::kIdent, "attribute in WHERE");
+    advance();
+    Condition cond;
+    switch (current().kind) {
+      case TokenKind::kLt: cond.cmp = Condition::Cmp::kLt; break;
+      case TokenKind::kLe: cond.cmp = Condition::Cmp::kLe; break;
+      case TokenKind::kGt: cond.cmp = Condition::Cmp::kGt; break;
+      case TokenKind::kGe: cond.cmp = Condition::Cmp::kGe; break;
+      default:
+        throw QueryError("expected comparison operator", current().position);
+    }
+    advance();
+    const double lit = expect_number("comparison literal");
+    if (lit < 0.0 || std::floor(lit) != lit) {
+      throw QueryError("comparison literal must be a non-negative integer",
+                       previous_position_);
+    }
+    cond.literal = static_cast<Value>(lit);
+    return cond;
+  }
+
+  std::vector<Token> tokens_;
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::size_t previous_position_ = 0;
+};
+
+}  // namespace
+
+Query parse_query(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace sensornet::query

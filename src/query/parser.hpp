@@ -1,0 +1,21 @@
+// Recursive-descent parser:
+//
+//   query  := SELECT agg FROM ident (WHERE cond)? (ERROR num)?
+//             (CONFIDENCE num)? ';'?
+//   agg    := (MIN|MAX|COUNT|SUM|AVG|MEDIAN|COUNT_DISTINCT) '(' ident ')'
+//           | QUANTILE '(' ident ',' num ')'
+//   cond   := ident ('<'|'<='|'>'|'>=') num
+//
+// Keywords are case-insensitive; the attribute name is free-form.
+#pragma once
+
+#include <string>
+
+#include "src/query/ast.hpp"
+
+namespace sensornet::query {
+
+/// Parses one query; throws QueryError with an offset on malformed input.
+Query parse_query(const std::string& text);
+
+}  // namespace sensornet::query

@@ -1,0 +1,83 @@
+#include "src/query/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sensornet::query {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kPrimitiveWave: return "primitive-wave";
+    case Strategy::kApproxCount: return "approx-count(loglog)";
+    case Strategy::kApproxSum: return "approx-sum(odi-sketch)";
+    case Strategy::kExactSelection: return "exact-selection(fig1)";
+    case Strategy::kApproxSelection: return "approx-selection(fig4)";
+    case Strategy::kExactDistinct: return "exact-distinct(set-union)";
+    case Strategy::kApproxDistinct: return "approx-distinct(hashed-loglog)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Registers m so the estimator's sigma ~ 1.04/sqrt(m) meets the requested
+/// relative error, clamped to a practical power-of-two range.
+unsigned registers_for_error(double error) {
+  const double need = 1.04 / error;
+  double m = 16.0;
+  while (m < need * need && m < 4096.0) m *= 2.0;
+  return static_cast<unsigned>(m);
+}
+
+}  // namespace
+
+Plan plan_query(const Query& q) {
+  Plan plan;
+  plan.epsilon = std::clamp(1.0 - q.confidence, 1e-6, 0.5);
+  switch (q.agg) {
+    case AggKind::kMin:
+    case AggKind::kMax:
+      plan.strategy = Strategy::kPrimitiveWave;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (q.error) {
+        plan.strategy = Strategy::kApproxSum;
+        plan.registers = registers_for_error(*q.error);
+      } else {
+        plan.strategy = Strategy::kPrimitiveWave;
+      }
+      break;
+    case AggKind::kCount:
+      if (q.error) {
+        plan.strategy = Strategy::kApproxCount;
+        plan.registers = registers_for_error(*q.error);
+      } else {
+        plan.strategy = Strategy::kPrimitiveWave;
+      }
+      break;
+    case AggKind::kMedian:
+    case AggKind::kQuantile:
+      if (q.error) {
+        plan.strategy = Strategy::kApproxSelection;
+        plan.beta = *q.error;
+        plan.registers = 64;
+      } else {
+        plan.strategy = Strategy::kExactSelection;
+      }
+      break;
+    case AggKind::kCountDistinct:
+      if (q.error) {
+        plan.strategy = Strategy::kApproxDistinct;
+        plan.registers = registers_for_error(*q.error);
+      } else {
+        plan.strategy = Strategy::kExactDistinct;
+      }
+      break;
+  }
+  plan.description = std::string(agg_name(q.agg)) + " via " +
+                     strategy_name(plan.strategy);
+  return plan;
+}
+
+}  // namespace sensornet::query

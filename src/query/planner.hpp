@@ -1,0 +1,49 @@
+// Physical planning: which protocol answers a parsed query.
+//
+//   MIN/MAX/COUNT/SUM/AVG          -> one Fact 2.1 wave (two for AVG)
+//   COUNT ... ERROR e              -> LogLog alpha-counting, m from e
+//   SUM / AVG ... ERROR e          -> ODI sum sketch ([2]), m from e
+//   MEDIAN / QUANTILE              -> Fig. 1 deterministic search (exact)
+//   MEDIAN / QUANTILE ... ERROR e  -> Fig. 4 zoom (beta = e,
+//                                     epsilon = 1 - confidence)
+//   COUNT_DISTINCT                 -> exact distinct-set union wave
+//   COUNT_DISTINCT ... ERROR e     -> hashed LogLog, m from e
+//
+// ERROR semantics: relative-count error for counting aggregates
+// (sigma ~ 1.04/sqrt(m) <= e), value precision beta for selection
+// aggregates.
+#pragma once
+
+#include <string>
+
+#include "src/query/ast.hpp"
+
+namespace sensornet::query {
+
+enum class Strategy {
+  kPrimitiveWave,       // MIN/MAX/COUNT/SUM/AVG, exact
+  kApproxCount,         // LogLog random-mode counting
+  kApproxSum,           // ODI sum sketch ([2]); AVG = sum / count
+  kExactSelection,      // Fig. 1 binary search
+  kApproxSelection,     // Fig. 4 zoom
+  kExactDistinct,       // distinct-set union
+  kApproxDistinct,      // hashed LogLog
+};
+
+const char* strategy_name(Strategy s);
+
+struct Plan {
+  Strategy strategy = Strategy::kPrimitiveWave;
+  /// LogLog registers for the approximate strategies.
+  unsigned registers = 64;
+  /// beta for kApproxSelection.
+  double beta = 1.0 / 256.0;
+  /// Failure probability budget for randomized strategies.
+  double epsilon = 0.05;
+  std::string description;  // human-readable plan line
+};
+
+/// Chooses the physical plan; pure function of the query.
+Plan plan_query(const Query& q);
+
+}  // namespace sensornet::query

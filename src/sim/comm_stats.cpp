@@ -1,0 +1,71 @@
+#include "src/sim/comm_stats.hpp"
+
+#include <algorithm>
+
+namespace sensornet::sim {
+
+NodeCommStats& NodeCommStats::operator+=(const NodeCommStats& other) {
+  payload_bits_sent += other.payload_bits_sent;
+  payload_bits_received += other.payload_bits_received;
+  header_bits_sent += other.header_bits_sent;
+  header_bits_received += other.header_bits_received;
+  messages_sent += other.messages_sent;
+  messages_received += other.messages_received;
+  return *this;
+}
+
+CommSummary summarize(const std::vector<NodeCommStats>& per_node,
+                      SimTime rounds, bool include_headers) {
+  CommSummary s;
+  s.rounds = rounds;
+  for (NodeId u = 0; u < per_node.size(); ++u) {
+    const auto& st = per_node[u];
+    const std::uint64_t bits = st.bits(include_headers);
+    if (bits > s.max_node_bits) {
+      s.max_node_bits = bits;
+      s.max_node = u;
+    }
+    s.total_bits += st.payload_bits_sent;
+    if (include_headers) s.total_bits += st.header_bits_sent;
+    s.total_messages += st.messages_sent;
+  }
+  return s;
+}
+
+CommSummary window_summary(const std::vector<NodeCommStats>& before,
+                           const std::vector<NodeCommStats>& after,
+                           SimTime rounds, bool include_headers) {
+  std::vector<NodeCommStats> delta(after.size());
+  for (std::size_t u = 0; u < after.size(); ++u) {
+    const NodeCommStats& b = u < before.size() ? before[u] : NodeCommStats{};
+    delta[u].payload_bits_sent = after[u].payload_bits_sent - b.payload_bits_sent;
+    delta[u].payload_bits_received =
+        after[u].payload_bits_received - b.payload_bits_received;
+    delta[u].header_bits_sent = after[u].header_bits_sent - b.header_bits_sent;
+    delta[u].header_bits_received =
+        after[u].header_bits_received - b.header_bits_received;
+    delta[u].messages_sent = after[u].messages_sent - b.messages_sent;
+    delta[u].messages_received =
+        after[u].messages_received - b.messages_received;
+  }
+  return summarize(delta, rounds, include_headers);
+}
+
+std::uint64_t max_payload_bits_sent(const std::vector<NodeCommStats>& per_node) {
+  std::uint64_t best = 0;
+  for (const auto& st : per_node) {
+    best = std::max(best, st.payload_bits_sent);
+  }
+  return best;
+}
+
+std::uint64_t max_payload_bits_received(
+    const std::vector<NodeCommStats>& per_node) {
+  std::uint64_t best = 0;
+  for (const auto& st : per_node) {
+    best = std::max(best, st.payload_bits_received);
+  }
+  return best;
+}
+
+}  // namespace sensornet::sim

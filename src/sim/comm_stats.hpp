@@ -1,0 +1,60 @@
+// Per-node communication accounting — the paper's complexity measure.
+//
+// "The communication complexity of a protocol [is] the maximum, over all
+// inputs, of the number of bits transmitted and received by any node"
+// (Section 2.1). NodeCommStats meters one node; CommSummary reduces a whole
+// run to the quantities the experiments report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace sensornet::sim {
+
+struct NodeCommStats {
+  std::uint64_t payload_bits_sent = 0;
+  std::uint64_t payload_bits_received = 0;
+  std::uint64_t header_bits_sent = 0;
+  std::uint64_t header_bits_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+
+  /// Bits transmitted plus received by this node.
+  std::uint64_t bits(bool include_headers) const {
+    std::uint64_t b = payload_bits_sent + payload_bits_received;
+    if (include_headers) b += header_bits_sent + header_bits_received;
+    return b;
+  }
+
+  NodeCommStats& operator+=(const NodeCommStats& other);
+};
+
+/// Whole-run reduction over all nodes.
+struct CommSummary {
+  std::uint64_t max_node_bits = 0;    // the paper's individual complexity
+  NodeId max_node = kNoNode;          // which node pays it
+  std::uint64_t total_bits = 0;       // network-wide sent bits
+  std::uint64_t total_messages = 0;
+  SimTime rounds = 0;                 // completion time in hops
+};
+
+CommSummary summarize(const std::vector<NodeCommStats>& per_node,
+                      SimTime rounds, bool include_headers);
+
+/// Summary of the traffic between two accounting snapshots (per-node
+/// differences) — protocols use this to report their own cost when sharing
+/// a network with earlier queries.
+CommSummary window_summary(const std::vector<NodeCommStats>& before,
+                           const std::vector<NodeCommStats>& after,
+                           SimTime rounds, bool include_headers);
+
+/// Largest per-node transmit / receive payload totals — [14]'s model charges
+/// these asymmetrically (transmitting costs far more energy), so the
+/// single-hop experiments report them separately.
+std::uint64_t max_payload_bits_sent(const std::vector<NodeCommStats>& per_node);
+std::uint64_t max_payload_bits_received(
+    const std::vector<NodeCommStats>& per_node);
+
+}  // namespace sensornet::sim

@@ -1,0 +1,139 @@
+#include "src/sim/network.hpp"
+
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::sim {
+
+Network::Network(net::Graph graph, std::uint64_t master_seed)
+    : graph_(std::move(graph)),
+      items_(graph_.node_count()),
+      stats_(graph_.node_count()) {
+  rngs_.reserve(graph_.node_count());
+  for (NodeId u = 0; u < graph_.node_count(); ++u) {
+    rngs_.push_back(node_rng(master_seed, u));
+  }
+}
+
+void Network::set_items(NodeId node, ValueSet items) {
+  SENSORNET_EXPECTS(node < items_.size());
+  for (const Value v : items) SENSORNET_EXPECTS(v >= 0);
+  items_[node] = std::move(items);
+}
+
+void Network::set_one_item_per_node(const ValueSet& flat) {
+  SENSORNET_EXPECTS(flat.size() == items_.size());
+  for (NodeId u = 0; u < flat.size(); ++u) set_items(u, {flat[u]});
+}
+
+const ValueSet& Network::items(NodeId node) const {
+  SENSORNET_EXPECTS(node < items_.size());
+  return items_[node];
+}
+
+Xoshiro256& Network::rng(NodeId node) {
+  SENSORNET_EXPECTS(node < rngs_.size());
+  return rngs_[node];
+}
+
+void Network::charge_send(NodeId node, const Message& msg) {
+  auto& st = stats_[node];
+  st.payload_bits_sent += msg.payload_bits;
+  st.header_bits_sent += kHeaderBits;
+  st.messages_sent += 1;
+}
+
+void Network::charge_receive(NodeId node, const Message& msg) {
+  auto& st = stats_[node];
+  st.payload_bits_received += msg.payload_bits;
+  st.header_bits_received += kHeaderBits;
+  st.messages_received += 1;
+}
+
+void Network::schedule(Message msg, NodeId to) {
+  msg.to = to;
+  in_flight_.push_back(std::move(msg));
+  queue_.push(PendingDelivery{now_ + 1, seq_++, in_flight_.size() - 1});
+}
+
+void Network::set_message_loss(double p) {
+  SENSORNET_EXPECTS(p >= 0.0 && p <= 1.0);
+  loss_probability_ = p;
+}
+
+void Network::send(Message msg) {
+  SENSORNET_EXPECTS(msg.from < node_count());
+  SENSORNET_EXPECTS(msg.to < node_count());
+  if (!graph_.has_edge(msg.from, msg.to)) {
+    throw ProtocolError("send: no link between sender and destination");
+  }
+  charge_send(msg.from, msg);
+  if (loss_probability_ > 0.0 && loss_rng_.next_bool(loss_probability_)) {
+    return;  // transmitted into the void; the sender's bits are spent
+  }
+  charge_receive(msg.to, msg);
+  if ((msg.from == watch_u_ && msg.to == watch_v_) ||
+      (msg.from == watch_v_ && msg.to == watch_u_)) {
+    watched_bits_ += msg.payload_bits;
+  }
+  const NodeId to = msg.to;
+  schedule(std::move(msg), to);
+}
+
+void Network::send_medium(Message msg) {
+  SENSORNET_EXPECTS(msg.from < node_count());
+  // The radio transmits once; every other node's receiver pays.
+  charge_send(msg.from, msg);
+  for (NodeId u = 0; u < node_count(); ++u) {
+    if (u == msg.from) continue;
+    if (!graph_.has_edge(msg.from, u)) {
+      throw ProtocolError("send_medium: deployment is not single-hop");
+    }
+    // Loss is per receiver: fading is independent at each radio.
+    if (loss_probability_ > 0.0 && loss_rng_.next_bool(loss_probability_)) {
+      continue;
+    }
+    charge_receive(u, msg);
+    Message copy = msg;
+    schedule(std::move(copy), u);
+  }
+}
+
+void Network::run(ProtocolHandler& handler, std::uint64_t max_deliveries) {
+  std::uint64_t delivered = 0;
+  while (!queue_.empty()) {
+    const PendingDelivery next = queue_.top();
+    queue_.pop();
+    now_ = next.at;
+    // Move the message out; in_flight_ entries are single-use.
+    Message msg = std::move(in_flight_[next.msg_index]);
+    handler.on_message(*this, msg.to, msg);
+    if (++delivered > max_deliveries) {
+      throw ProtocolError("run: delivery budget exceeded (runaway protocol?)");
+    }
+  }
+  // Queue drained: reclaim message storage.
+  in_flight_.clear();
+  seq_ = 0;
+}
+
+const NodeCommStats& Network::stats(NodeId node) const {
+  SENSORNET_EXPECTS(node < stats_.size());
+  return stats_[node];
+}
+
+void Network::watch_edge(NodeId u, NodeId v) {
+  SENSORNET_EXPECTS(u < node_count() && v < node_count());
+  watch_u_ = u;
+  watch_v_ = v;
+  watched_bits_ = 0;
+}
+
+void Network::reset_accounting() {
+  for (auto& st : stats_) st = NodeCommStats{};
+  now_ = 0;
+  watched_bits_ = 0;
+}
+
+}  // namespace sensornet::sim

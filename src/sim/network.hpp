@@ -1,0 +1,133 @@
+// Event-driven network simulator.
+//
+// Unit-delay message delivery over an explicit communication graph, with
+// bit-exact per-node accounting. Protocols are state machines driven by
+// `on_message` callbacks; the root-side orchestrators inject the first
+// message(s) and call run() to quiescence.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+#include "src/net/graph.hpp"
+#include "src/sim/comm_stats.hpp"
+#include "src/sim/message.hpp"
+
+namespace sensornet::sim {
+
+class Network;
+
+/// A protocol's receive handler. Implementations keep their own per-node
+/// session state; the simulator only moves bits.
+class ProtocolHandler {
+ public:
+  virtual ~ProtocolHandler() = default;
+  virtual void on_message(Network& net, NodeId receiver, const Message& msg) = 0;
+};
+
+class Network {
+ public:
+  /// Takes ownership of the deployment graph. `master_seed` derives every
+  /// node's private random stream, making runs reproducible.
+  Network(net::Graph graph, std::uint64_t master_seed);
+
+  std::size_t node_count() const { return items_.size(); }
+  const net::Graph& graph() const { return graph_; }
+
+  // ---- node-local state -------------------------------------------------
+
+  /// Installs the input multiset at `node` (Section 2.1: each node holds
+  /// input items). Values must be non-negative.
+  void set_items(NodeId node, ValueSet items);
+
+  /// Distributes one item per node; `flat.size()` must equal node_count().
+  void set_one_item_per_node(const ValueSet& flat);
+
+  const ValueSet& items(NodeId node) const;
+
+  /// The node's private random stream ("infinite tape of random bits").
+  Xoshiro256& rng(NodeId node);
+
+  // ---- messaging ----------------------------------------------------------
+
+  /// Unicast along a graph edge; delivered at now()+1. Accounting is charged
+  /// to sender and receiver immediately (bits on air are bits paid).
+  void send(Message msg);
+
+  /// Makes every subsequent transmission vanish with probability `p`
+  /// (per message, from a dedicated reproducible stream). The sender still
+  /// pays its bits — radios don't know the packet died. Tree waves stall
+  /// under loss (and their drivers throw); duplicate-insensitive multipath
+  /// aggregation degrades gracefully — see proto/multipath.hpp.
+  void set_message_loss(double p);
+
+  /// Shared-medium broadcast: every other node receives the message at
+  /// now()+1. Only meaningful on single-hop (complete) deployments; the
+  /// sender pays the bits once, every receiver pays them too.
+  void send_medium(Message msg);
+
+  /// Drains the event queue, dispatching each delivery to `handler`.
+  /// Throws ProtocolError if more than `max_deliveries` messages are
+  /// processed (runaway-protocol guard).
+  void run(ProtocolHandler& handler, std::uint64_t max_deliveries = 1ULL << 32);
+
+  SimTime now() const { return now_; }
+
+  // ---- accounting -----------------------------------------------------
+
+  const NodeCommStats& stats(NodeId node) const;
+  const std::vector<NodeCommStats>& all_stats() const { return stats_; }
+
+  /// Starts metering payload bits that cross the undirected edge {u, v}
+  /// (either direction). Used by the Theorem 5.1 reduction to measure the
+  /// information flow across the A|B cut of the line network.
+  void watch_edge(NodeId u, NodeId v);
+
+  /// Payload bits that crossed the watched edge so far.
+  std::uint64_t watched_edge_bits() const { return watched_bits_; }
+
+  /// Clears stats and the clock (keeps items and RNG streams).
+  void reset_accounting();
+
+  /// Summary over the current accounting window.
+  CommSummary summary(bool include_headers = false) const {
+    return summarize(stats_, now_, include_headers);
+  }
+
+ private:
+  struct PendingDelivery {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    std::size_t msg_index;
+  };
+  struct DeliveryOrder {
+    bool operator()(const PendingDelivery& a, const PendingDelivery& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void charge_send(NodeId node, const Message& msg);
+  void charge_receive(NodeId node, const Message& msg);
+  void schedule(Message msg, NodeId to);
+
+  net::Graph graph_;
+  std::vector<ValueSet> items_;
+  std::vector<Xoshiro256> rngs_;
+  Xoshiro256 loss_rng_{0x10c5};
+  double loss_probability_ = 0.0;
+  std::vector<NodeCommStats> stats_;
+  std::vector<Message> in_flight_;  // storage for queued messages
+  std::priority_queue<PendingDelivery, std::vector<PendingDelivery>,
+                      DeliveryOrder>
+      queue_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  NodeId watch_u_ = kNoNode;
+  NodeId watch_v_ = kNoNode;
+  std::uint64_t watched_bits_ = 0;
+};
+
+}  // namespace sensornet::sim

@@ -1,0 +1,58 @@
+// LogLog / HyperLogLog cardinality estimation (Durand–Flajolet [3]).
+//
+// Two observation modes feed the same register state:
+//   * random mode  — each observation is an independent Geometric(1/2)
+//     sample into a random bucket; estimates the *count* of observations
+//     (Fact 2.2's alpha-counting).
+//   * hashed mode  — bucket and rank are derived from the item's hash, so
+//     duplicates collapse; estimates the number of *distinct* items
+//     (Section 5's efficient approximate COUNT_DISTINCT).
+//
+// Estimators: the original LogLog geometric-mean estimator (whose sigma
+// multiplier beta_m -> 1.298 is what Fact 2.2 quotes) and HyperLogLog's
+// harmonic-mean estimator with small-range correction (same wire format,
+// better constants — used where the algorithms just need a good alpha-
+// counting black box).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/sketch/registers.hpp"
+
+namespace sensornet::sketch {
+
+/// One LogLog observation in random mode: picks a uniform bucket and a
+/// geometric rank from `rng` and raises the register.
+void observe_random(RegisterArray& regs, Xoshiro256& rng);
+
+/// One LogLog observation in hashed mode: bucket = low bits of
+/// hash64(item, salt), rank = leading-zero run of the remaining bits + 1.
+void observe_hashed(RegisterArray& regs, std::uint64_t item,
+                    std::uint64_t salt);
+
+/// The Durand–Flajolet LogLog estimate: alpha_m * m * 2^(rank_sum / m).
+double loglog_estimate(const RegisterArray& regs);
+
+/// The HyperLogLog estimate (harmonic mean) with the standard small-range
+/// (linear counting) correction.
+double hyperloglog_estimate(const RegisterArray& regs);
+
+/// alpha_m, the LogLog bias-correction constant:
+/// (m * Gamma(1 - 1/m) * (2^(1/m) - 1) / ln 2)^(-m).
+double loglog_alpha(unsigned m);
+
+/// Asymptotic relative standard error of the LogLog estimate
+/// (~= 1.30 / sqrt(m); the paper's beta_m -> 1.298).
+double loglog_sigma(unsigned m);
+
+/// Asymptotic relative standard error of the HyperLogLog estimate
+/// (~= 1.04 / sqrt(m)).
+double hyperloglog_sigma(unsigned m);
+
+/// Register width sufficient to store geometric ranks arising from up to
+/// `max_observations` observations without saturation distorting estimates
+/// (the O(log log N) bits of Fact 2.2).
+unsigned register_width_for(std::uint64_t max_observations);
+
+}  // namespace sensornet::sketch

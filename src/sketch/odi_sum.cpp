@@ -1,0 +1,68 @@
+#include "src/sketch/odi_sum.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::sketch {
+
+std::uint64_t sample_binomial_inv_m(std::uint64_t n, unsigned m,
+                                    Xoshiro256& rng) {
+  SENSORNET_EXPECTS(m >= 1);
+  if (n == 0) return 0;
+  const double p = 1.0 / static_cast<double>(m);
+  const double mean = static_cast<double>(n) * p;
+  if (n <= 64) {
+    // Exact: count Bernoulli successes.
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.next_below(m) == 0) ++hits;
+    }
+    return hits;
+  }
+  // Normal approximation with continuity correction, clamped to support.
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double draw = mean + sd * z + 0.5;
+  if (draw <= 0.0) return 0;
+  if (draw >= static_cast<double>(n)) return n;
+  return static_cast<std::uint64_t>(draw);
+}
+
+unsigned sample_max_geometric(std::uint64_t count, Xoshiro256& rng) {
+  if (count == 0) return 0;
+  if (count == 1) return rng.next_geometric_rank();
+  // CDF of the max: F(r) = (1 - 2^-r)^count. Invert a uniform draw.
+  const double u = std::max(rng.next_double(), 1e-300);
+  // 1 - u^(1/count), computed stably via expm1/log for large counts.
+  const double log_u = std::log(u);
+  const double tail = -std::expm1(log_u / static_cast<double>(count));
+  if (tail <= 0.0) return 64;  // astronomically lucky draw; cap at 64
+  const double r = -std::log2(tail);
+  if (r <= 1.0) return 1;
+  if (r >= 64.0) return 64;
+  return static_cast<unsigned>(std::ceil(r));
+}
+
+void observe_sum(RegisterArray& regs, std::uint64_t value, Xoshiro256& rng) {
+  if (value == 0) return;
+  const unsigned m = regs.count();
+  std::uint64_t remaining = value;
+  for (unsigned b = 0; b + 1 < m; ++b) {
+    // Sequential conditional binomials keep the bucket counts an exact
+    // multinomial split of `value`.
+    const std::uint64_t units =
+        sample_binomial_inv_m(remaining, m - b, rng);
+    if (units > 0) regs.observe(b, sample_max_geometric(units, rng));
+    remaining -= units;
+    if (remaining == 0) break;
+  }
+  if (remaining > 0) {
+    regs.observe(m - 1, sample_max_geometric(remaining, rng));
+  }
+}
+
+}  // namespace sensornet::sketch

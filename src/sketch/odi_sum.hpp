@@ -1,0 +1,37 @@
+// Duplicate-insensitive SUM sketching (Considine-Li-Kollios-Byers [2]).
+//
+// The paper cites [2] for robust COUNT/SUM/AVG: conceptually, an item of
+// value x contributes x unit observations to a LogLog sketch, so the
+// estimator returns the *sum* — and the register state stays ODI, surviving
+// arbitrary duplication by the communication layer. Inserting x units
+// one-by-one would cost O(x); this implementation draws each bucket's
+// register directly from the exact distribution of the maximum of
+// Binomial(x, 1/m) geometric samples:
+//
+//   n_b ~ Binomial(x, 1/m)        (units landing in bucket b)
+//   R_b = ceil(-log2(1 - U^(1/n_b)))   with U ~ Uniform(0,1)
+//
+// which is O(m) per item independent of x.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/sketch/registers.hpp"
+
+namespace sensornet::sketch {
+
+/// Folds `value` unit-observations into the registers in O(m) time.
+/// A zero value contributes nothing.
+void observe_sum(RegisterArray& regs, std::uint64_t value, Xoshiro256& rng);
+
+/// Samples Binomial(n, 1/m) (exact inversion for small n, normal
+/// approximation with continuity correction above the cutoff — fine for a
+/// simulator, the approximation error is far below the sketch's sigma).
+std::uint64_t sample_binomial_inv_m(std::uint64_t n, unsigned m,
+                                    Xoshiro256& rng);
+
+/// Samples max of `count` iid Geometric(1/2) variables in O(1).
+unsigned sample_max_geometric(std::uint64_t count, Xoshiro256& rng);
+
+}  // namespace sensornet::sketch

@@ -1,0 +1,58 @@
+#include "src/sketch/registers.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::sketch {
+
+RegisterArray::RegisterArray(unsigned count, unsigned width)
+    : regs_(count, 0), width_(width) {
+  SENSORNET_EXPECTS(count >= 1 && (count & (count - 1)) == 0);
+  SENSORNET_EXPECTS(width >= 1 && width <= 8);
+}
+
+void RegisterArray::observe(unsigned bucket, unsigned rank) {
+  SENSORNET_EXPECTS(bucket < regs_.size());
+  const unsigned cap = (1u << width_) - 1;
+  const auto clamped = static_cast<std::uint8_t>(std::min(rank, cap));
+  regs_[bucket] = std::max(regs_[bucket], clamped);
+}
+
+std::uint8_t RegisterArray::value(unsigned bucket) const {
+  SENSORNET_EXPECTS(bucket < regs_.size());
+  return regs_[bucket];
+}
+
+void RegisterArray::merge(const RegisterArray& other) {
+  SENSORNET_EXPECTS(other.count() == count() && other.width_ == width_);
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    regs_[i] = std::max(regs_[i], other.regs_[i]);
+  }
+}
+
+unsigned RegisterArray::zero_count() const {
+  return static_cast<unsigned>(
+      std::count(regs_.begin(), regs_.end(), std::uint8_t{0}));
+}
+
+std::uint64_t RegisterArray::rank_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto r : regs_) sum += r;
+  return sum;
+}
+
+void RegisterArray::encode(BitWriter& w) const {
+  for (const auto r : regs_) w.write_bits(r, width_);
+}
+
+RegisterArray RegisterArray::decode(BitReader& r, unsigned count,
+                                    unsigned width) {
+  RegisterArray a(count, width);
+  for (unsigned i = 0; i < count; ++i) {
+    a.regs_[i] = static_cast<std::uint8_t>(r.read_bits(width));
+  }
+  return a;
+}
+
+}  // namespace sensornet::sketch

@@ -1,0 +1,56 @@
+// Max-register arrays: the duplicate-insensitive state of LogLog counting.
+//
+// Fact 2.2's protocol is "run MAX over m small registers": each observation
+// raises one register to the rank of its geometric sample, and merging two
+// arrays is an elementwise max — associative, commutative, idempotent, so it
+// aggregates on any tree (or any duplicating communication layer, cf. [2]).
+// Wire size is exactly m * width bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitio.hpp"
+
+namespace sensornet::sketch {
+
+class RegisterArray {
+ public:
+  /// `count` registers, each `width` bits wide (values 0 .. 2^width-1).
+  /// count must be a power of two (the bucket selector uses low hash bits).
+  RegisterArray(unsigned count, unsigned width);
+
+  unsigned count() const { return static_cast<unsigned>(regs_.size()); }
+  unsigned width() const { return width_; }
+
+  /// Saturating update: regs[bucket] = max(regs[bucket], rank).
+  void observe(unsigned bucket, unsigned rank);
+
+  std::uint8_t value(unsigned bucket) const;
+
+  /// Elementwise max with a peer array of identical geometry.
+  void merge(const RegisterArray& other);
+
+  /// Number of zero registers (used by small-range corrections).
+  unsigned zero_count() const;
+
+  /// Sum of register values (the LogLog estimator's statistic).
+  std::uint64_t rank_sum() const;
+
+  /// Wire image: count * width bits, registers in index order.
+  void encode(BitWriter& w) const;
+  static RegisterArray decode(BitReader& r, unsigned count, unsigned width);
+
+  /// Exact wire cost in bits.
+  std::uint64_t wire_bits() const {
+    return static_cast<std::uint64_t>(count()) * width_;
+  }
+
+  bool operator==(const RegisterArray&) const = default;
+
+ private:
+  std::vector<std::uint8_t> regs_;
+  unsigned width_;
+};
+
+}  // namespace sensornet::sketch

@@ -1,0 +1,105 @@
+#include "src/baseline/gk_median.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/common/workload.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::baseline {
+namespace {
+
+TEST(GkMedian, ExactWhenBudgetGenerous) {
+  // Budget larger than the distinct-value count -> no pruning -> exact.
+  const ValueSet xs{10, 20, 30, 40, 50};
+  sim::Network net(net::make_line(5), 1);
+  net.set_one_item_per_node(xs);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  const auto res = gk_median(net, tree, 64);
+  EXPECT_EQ(res.median, 30);
+  EXPECT_EQ(res.population, 5u);
+}
+
+TEST(GkMedian, RankErrorWithinSummaryCertificate) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 64 + rng.next_below(100);
+    ValueSet xs = generate_workload(WorkloadKind::kUniform, n, 1 << 18, rng);
+    sim::Network net(net::make_grid(8, (n + 7) / 8), 10 + trial);
+    // Grid may have a few more nodes than n: give extras empty item sets.
+    for (NodeId u = 0; u < net.node_count(); ++u) {
+      if (u < n) {
+        net.set_items(u, {xs[u]});
+      }
+    }
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    const auto res = gk_median(net, tree, 24);
+    // The summary certifies its own uncertainty; the returned value's true
+    // rank must be within that certificate (+1 for the query snap).
+    const auto true_rank = static_cast<double>(rank_below(xs, res.median + 1));
+    const double target = static_cast<double>((n + 1) / 2);
+    // Query error <= distance to the chosen bracket + bracket width, both
+    // bounded by the certified gap; double it (+ snap slack) to be safe.
+    EXPECT_NEAR(true_rank, target,
+                2.0 * static_cast<double>(res.rank_uncertainty) + 2.0)
+        << "n=" << n;
+  }
+}
+
+TEST(GkMedian, BudgetControlsAccuracyAndBits) {
+  Xoshiro256 rng(5);
+  const std::size_t n = 256;
+  ValueSet xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = static_cast<Value>(i * 37);
+  double err_small = 0;
+  double err_large = 0;
+  std::uint64_t bits_small = 0;
+  std::uint64_t bits_large = 0;
+  for (const std::size_t budget : {8UL, 64UL}) {
+    sim::Network net(net::make_line(n), 9);
+    net.set_one_item_per_node(xs);
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    const auto res = gk_median(net, tree, budget);
+    const double err = std::abs(static_cast<double>(res.median) -
+                                static_cast<double>(reference_median(xs)));
+    if (budget == 8) {
+      err_small = err;
+      bits_small = net.summary().max_node_bits;
+    } else {
+      err_large = err;
+      bits_large = net.summary().max_node_bits;
+    }
+  }
+  EXPECT_LE(err_large, err_small);
+  EXPECT_GT(bits_large, bits_small);
+}
+
+TEST(GkMedian, SummaryEntriesRespectBudget) {
+  Xoshiro256 rng(7);
+  const std::size_t n = 128;
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, 1 << 16, rng);
+  sim::Network net(net::make_line(n), 11);
+  net.set_one_item_per_node(xs);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  const auto res = gk_median(net, tree, 16);
+  EXPECT_LE(res.root_summary_entries, 16u);
+}
+
+TEST(GkMedian, EmptyThrows) {
+  sim::Network net(net::make_line(3), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  EXPECT_THROW(gk_median(net, tree, 16), PreconditionError);
+}
+
+TEST(GkMedian, RejectsTinyBudget) {
+  sim::Network net(net::make_line(3), 1);
+  net.set_one_item_per_node({1, 2, 3});
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  EXPECT_THROW(gk_median(net, tree, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sensornet::baseline

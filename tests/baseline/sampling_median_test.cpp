@@ -1,0 +1,87 @@
+#include "src/baseline/sampling_median.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/common/workload.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::baseline {
+namespace {
+
+TEST(SamplingMedian, FullSampleIsExact) {
+  // target >= N -> p = 1 -> every item sampled -> exact median.
+  const ValueSet xs{9, 1, 5, 3, 7};
+  sim::Network net(net::make_line(5), 1);
+  net.set_one_item_per_node(xs);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  const auto res = sampling_median(net, tree, 100);
+  EXPECT_EQ(res.median, reference_median(xs));
+  EXPECT_EQ(res.sample_size, 5u);
+  EXPECT_EQ(res.population, 5u);
+}
+
+TEST(SamplingMedian, RankErrorShrinksWithSampleSize) {
+  Xoshiro256 rng(3);
+  const std::size_t n = 512;
+  ValueSet xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = static_cast<Value>(i);
+  const auto rank_error = [&](std::uint64_t target, std::uint64_t seed) {
+    double total = 0;
+    constexpr int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      sim::Network net(net::make_line(n), seed + t);
+      net.set_one_item_per_node(xs);
+      const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+      const auto res = sampling_median(net, tree, target);
+      total += std::abs(static_cast<double>(res.median) -
+                        static_cast<double>(n) / 2.0);
+    }
+    return total / kTrials;
+  };
+  const double err_small = rank_error(16, 100);
+  const double err_large = rank_error(256, 200);
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(SamplingMedian, BitsScaleWithSampleSizeNotPopulation) {
+  Xoshiro256 rng(5);
+  const std::size_t n = 512;
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, 1 << 16, rng);
+  std::uint64_t bits_16 = 0;
+  std::uint64_t bits_256 = 0;
+  {
+    sim::Network net(net::make_line(n), 7);
+    net.set_one_item_per_node(xs);
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    sampling_median(net, tree, 16);
+    bits_16 = net.summary().max_node_bits;
+  }
+  {
+    sim::Network net(net::make_line(n), 7);
+    net.set_one_item_per_node(xs);
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    sampling_median(net, tree, 256);
+    bits_256 = net.summary().max_node_bits;
+  }
+  EXPECT_GT(bits_256, 2 * bits_16);
+}
+
+TEST(SamplingMedian, RejectsZeroTarget) {
+  sim::Network net(net::make_line(3), 1);
+  net.set_one_item_per_node({1, 2, 3});
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  EXPECT_THROW(sampling_median(net, tree, 0), PreconditionError);
+}
+
+TEST(SamplingMedian, EmptyPopulationThrows) {
+  sim::Network net(net::make_line(3), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  EXPECT_THROW(sampling_median(net, tree, 8), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sensornet::baseline

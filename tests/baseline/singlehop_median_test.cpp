@@ -1,0 +1,67 @@
+#include "src/baseline/singlehop_median.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/common/workload.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::baseline {
+namespace {
+
+TEST(SingleHopMedian, ExactOnRandomInputs) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.next_below(40);
+    ValueSet xs(n);
+    for (auto& x : xs) x = static_cast<Value>(rng.next_below(1024));
+    sim::Network net(net::make_complete(n), 10 + trial);
+    net.set_one_item_per_node(xs);
+    const auto res = single_hop_median(net, 0, 1023);
+    EXPECT_EQ(res.median, reference_median(xs)) << "n=" << n;
+  }
+}
+
+TEST(SingleHopMedian, TransmitReceiveAsymmetry) {
+  // The [14] profile: per-node transmit O(log X), receive O(N log X).
+  Xoshiro256 rng(3);
+  const std::size_t n = 64;
+  const Value X = 4095;
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, X, rng);
+  sim::Network net(net::make_complete(n), 5);
+  net.set_one_item_per_node(xs);
+  const auto res = single_hop_median(net, 0, X);
+  EXPECT_EQ(res.median, reference_median(xs));
+  // Transmit: exactly one presence bit per round, for every node.
+  EXPECT_EQ(res.max_node_tx_bits, res.rounds);
+  // Receive: every node overhears the other N-1 bits each round.
+  EXPECT_EQ(res.max_node_rx_bits,
+            static_cast<std::uint64_t>(res.rounds) * (n - 1));
+  EXPECT_GT(res.max_node_rx_bits, 10 * res.max_node_tx_bits);
+}
+
+TEST(SingleHopMedian, RoundsAreLogarithmicInRange) {
+  const std::size_t n = 16;
+  ValueSet xs(n, 100);
+  xs[0] = 5;
+  xs[1] = 4000;
+  sim::Network net(net::make_complete(n), 7);
+  net.set_one_item_per_node(xs);
+  const auto res = single_hop_median(net, 0, 4095);
+  EXPECT_LE(res.rounds, ceil_log2(4096) + 2);
+}
+
+TEST(SingleHopMedian, EmptyThrows) {
+  sim::Network net(net::make_complete(4), 1);
+  EXPECT_THROW(single_hop_median(net, 0, 100), PreconditionError);
+}
+
+TEST(SingleHopMedian, DegenerateSingleNode) {
+  sim::Network net(net::make_complete(1), 1);
+  net.set_one_item_per_node({42});
+  EXPECT_EQ(single_hop_median(net, 0, 100).median, 42);
+}
+
+}  // namespace
+}  // namespace sensornet::baseline

@@ -1,0 +1,52 @@
+#include "src/baseline/tag_collect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/common/workload.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::baseline {
+namespace {
+
+TEST(TagCollect, ExactMedian) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.next_below(60);
+    ValueSet xs(n);
+    for (auto& x : xs) x = static_cast<Value>(rng.next_below(1 << 20));
+    sim::Network net(net::make_line(n), 10 + trial);
+    net.set_one_item_per_node(xs);
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    const auto res = tag_collect_median(net, tree);
+    EXPECT_EQ(res.median, reference_median(xs));
+    EXPECT_EQ(res.items_collected, n);
+  }
+}
+
+TEST(TagCollect, EmptyThrows) {
+  sim::Network net(net::make_line(3), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  EXPECT_THROW(tag_collect_median(net, tree), PreconditionError);
+}
+
+TEST(TagCollect, BottleneckBitsGrowLinearly) {
+  // The point of the baseline: some node forwards Theta(N log X) bits.
+  std::uint64_t bits_small = 0;
+  std::uint64_t bits_large = 0;
+  Xoshiro256 rng(3);
+  for (const std::size_t n : {64UL, 512UL}) {
+    const ValueSet xs =
+        generate_workload(WorkloadKind::kUniform, n, 1 << 20, rng);
+    sim::Network net(net::make_line(n), 5);
+    net.set_one_item_per_node(xs);
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    tag_collect_median(net, tree);
+    (n == 64 ? bits_small : bits_large) = net.summary().max_node_bits;
+  }
+  EXPECT_GT(bits_large, 5 * bits_small);  // 8x nodes -> ~8x bits
+}
+
+}  // namespace
+}  // namespace sensornet::baseline

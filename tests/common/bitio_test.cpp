@@ -1,0 +1,116 @@
+#include "src/common/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace sensornet {
+namespace {
+
+TEST(BitIo, EmptyWriter) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitIo, SingleBits) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitIo, MsbFirstPacking) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  // 101 followed by zero padding -> byte 0b1010'0000.
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0xA0);
+}
+
+TEST(BitIo, ZeroWidthWriteIsNoop) {
+  BitWriter w;
+  w.write_bits(0xFFFF, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitIo, FullWordRoundTrip) {
+  BitWriter w;
+  w.write_bits(0xDEADBEEFCAFEF00DULL, 64);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_EQ(r.read_bits(64), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(BitIo, MixedWidthsRoundTrip) {
+  BitWriter w;
+  w.write_bits(0x5, 3);
+  w.write_bits(0x1234, 16);
+  w.write_bit(true);
+  w.write_bits(0x7F, 7);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_EQ(r.read_bits(3), 0x5u);
+  EXPECT_EQ(r.read_bits(16), 0x1234u);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read_bits(7), 0x7Fu);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write_bits(0b11, 2);
+  BitReader r(w.bytes().data(), w.bit_count());
+  r.read_bits(2);
+  EXPECT_THROW(r.read_bit(), WireFormatError);
+}
+
+TEST(BitIo, TruncatedPayloadThrows) {
+  BitWriter w;
+  w.write_bits(0xFF, 8);
+  BitReader r(w.bytes().data(), 4);  // only 4 bits advertised
+  EXPECT_EQ(r.read_bits(4), 0xFu);
+  EXPECT_THROW(r.read_bit(), WireFormatError);
+}
+
+TEST(BitIo, WidthOver64Throws) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(0, 65), PreconditionError);
+}
+
+TEST(BitIo, TakeBytesResets) {
+  BitWriter w;
+  w.write_bits(0xAB, 8);
+  const auto bytes = w.take_bytes();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitIo, RandomizedRoundTrip) {
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    const int count = 1 + static_cast<int>(rng.next_below(30));
+    for (int i = 0; i < count; ++i) {
+      const unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
+      const std::uint64_t mask =
+          width == 64 ? ~0ULL : ((1ULL << width) - 1);
+      const std::uint64_t value = rng.next_u64() & mask;
+      fields.emplace_back(value, width);
+      w.write_bits(value, width);
+    }
+    BitReader r(w.bytes().data(), w.bit_count());
+    for (const auto& [value, width] : fields) {
+      EXPECT_EQ(r.read_bits(width), value);
+    }
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sensornet

@@ -1,0 +1,105 @@
+// Decoder robustness: feeding arbitrary bit soup to every wire decoder must
+// end in a clean exception or a valid object — never a hang, crash, or
+// unbounded allocation. (Sensor payloads cross lossy radios; a corrupt
+// length prefix must not OOM a mote.)
+#include <gtest/gtest.h>
+
+#include "src/baseline/quantile_summary.hpp"
+#include "src/common/codec.hpp"
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/proto/aggregations.hpp"
+#include "src/proto/predicate.hpp"
+#include "src/sketch/registers.hpp"
+
+namespace sensornet {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Xoshiro256& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+template <typename Fn>
+void fuzz(Fn decode, int trials = 400, std::uint64_t seed = 42) {
+  Xoshiro256 rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    const std::size_t len = 1 + rng.next_below(64);
+    const auto bytes = random_bytes(rng, len);
+    BitReader r(bytes.data(), len * 8);
+    try {
+      decode(r);
+    } catch (const WireFormatError&) {
+      // expected for truncated/corrupt payloads
+    } catch (const PreconditionError&) {
+      // expected when decoded fields violate constructor contracts
+    }
+  }
+}
+
+TEST(FuzzDecode, EliasGamma) {
+  fuzz([](BitReader& r) { elias_gamma_decode(r); });
+}
+
+TEST(FuzzDecode, EliasDelta) {
+  fuzz([](BitReader& r) { elias_delta_decode(r); });
+}
+
+TEST(FuzzDecode, SignedInts) {
+  fuzz([](BitReader& r) { decode_int(r); });
+}
+
+TEST(FuzzDecode, Predicate) {
+  fuzz([](BitReader& r) { proto::Predicate::decode(r); });
+}
+
+TEST(FuzzDecode, Registers) {
+  fuzz([](BitReader& r) { sketch::RegisterArray::decode(r, 64, 6); });
+}
+
+TEST(FuzzDecode, CollectPartial) {
+  fuzz([](BitReader& r) {
+    proto::CollectAgg::decode_partial(r, {});
+  });
+}
+
+TEST(FuzzDecode, DistinctSetPartial) {
+  fuzz([](BitReader& r) {
+    proto::DistinctSetAgg::decode_partial(r, {});
+  });
+}
+
+TEST(FuzzDecode, QuantileSummary) {
+  fuzz([](BitReader& r) { baseline::QuantileSummary::decode(r); });
+}
+
+TEST(FuzzDecode, LogLogRequest) {
+  fuzz([](BitReader& r) { proto::LogLogAgg::decode_request(r); });
+}
+
+TEST(FuzzDecode, BitFlippedValidPayloadsStaySafe) {
+  // Start from a VALID quantile summary, flip one bit anywhere, decode.
+  Xoshiro256 rng(7);
+  ValueSet xs(30);
+  for (auto& x : xs) x = static_cast<Value>(rng.next_below(10000));
+  const auto summary = baseline::QuantileSummary::from_items(xs);
+  BitWriter w;
+  summary.encode(w);
+  const auto baseline_bytes = w.bytes();
+  const std::size_t bits = w.bit_count();
+  for (std::size_t flip = 0; flip < bits; ++flip) {
+    auto corrupted = baseline_bytes;
+    corrupted[flip / 8] ^= static_cast<std::uint8_t>(0x80u >> (flip % 8));
+    BitReader r(corrupted.data(), bits);
+    try {
+      const auto s = baseline::QuantileSummary::decode(r);
+      (void)s.valid();  // may be invalid; must simply not blow up
+    } catch (const WireFormatError&) {
+    } catch (const PreconditionError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sensornet

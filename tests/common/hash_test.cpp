@@ -1,0 +1,62 @@
+#include "src/common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <unordered_set>
+
+namespace sensornet {
+namespace {
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(hash64(12345, 1), hash64(12345, 1));
+}
+
+TEST(Hash, SaltChangesOutput) {
+  EXPECT_NE(hash64(12345, 1), hash64(12345, 2));
+}
+
+TEST(Hash, NoCollisionsOnSmallDomain) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    seen.insert(hash64(v, 7));
+  }
+  EXPECT_EQ(seen.size(), 100000u);  // 64-bit collisions here are ~impossible
+}
+
+TEST(Hash, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  double total_flips = 0;
+  int cases = 0;
+  for (std::uint64_t v = 1; v < 2000; v += 13) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      const std::uint64_t h1 = hash64(v, 3);
+      const std::uint64_t h2 = hash64(v ^ (1ULL << bit), 3);
+      total_flips += std::popcount(h1 ^ h2);
+      ++cases;
+    }
+  }
+  EXPECT_NEAR(total_flips / cases, 32.0, 2.0);
+}
+
+TEST(Hash, LeadingZeroDistributionIsGeometric) {
+  // For the hashed-LogLog rank derivation, P(clz >= k) ~ 2^-k.
+  int at_least_8 = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (std::countl_zero(hash64(static_cast<std::uint64_t>(i), 11)) >= 8) {
+      ++at_least_8;
+    }
+  }
+  EXPECT_NEAR(at_least_8 / static_cast<double>(kSamples), 1.0 / 256, 0.0005);
+}
+
+TEST(Splitmix, StreamAdvances) {
+  std::uint64_t state = 0;
+  const auto a = splitmix64_next(state);
+  const auto b = splitmix64_next(state);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sensornet

@@ -1,0 +1,113 @@
+#include "src/common/mathutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace sensornet {
+namespace {
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_THROW(floor_log2(0), PreconditionError);
+}
+
+TEST(MathUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1 << 20), 20u);
+  EXPECT_EQ(ceil_log2((1 << 20) + 1), 21u);
+}
+
+TEST(MathUtil, Pow2) {
+  EXPECT_EQ(pow2_i64(0), 1);
+  EXPECT_EQ(pow2_i64(10), 1024);
+  EXPECT_EQ(pow2_i64(62), 1LL << 62);
+  EXPECT_THROW(pow2_i64(63), PreconditionError);
+}
+
+TEST(MathUtil, AffineRescaleEndpoints) {
+  // Maps [lo, lo+span_in] onto [1, 1+span_out].
+  EXPECT_EQ(affine_rescale(16, 16, 15, 999), 1);
+  EXPECT_EQ(affine_rescale(31, 16, 15, 999), 1000);
+}
+
+TEST(MathUtil, AffineRoundTripWithinRounding) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t lo = 1 + static_cast<std::int64_t>(rng.next_below(1000));
+    const std::int64_t span_in =
+        1 + static_cast<std::int64_t>(rng.next_below(1000));
+    const std::int64_t span_out =
+        span_in + static_cast<std::int64_t>(rng.next_below(100000));
+    const std::int64_t x =
+        lo + static_cast<std::int64_t>(
+                 rng.next_below(static_cast<std::uint64_t>(span_in) + 1));
+    const std::int64_t y = affine_rescale(x, lo, span_in, span_out);
+    const std::int64_t back = affine_unscale(y, lo, span_in, span_out);
+    // Expanding maps (span_out >= span_in) round-trip to within 1 unit.
+    EXPECT_LE(std::abs(back - x), 1)
+        << "x=" << x << " lo=" << lo << " si=" << span_in << " so=" << span_out;
+  }
+}
+
+TEST(MathUtil, AffineExpandsGaps) {
+  // The Fig. 4 argument: after rescale, distinct values are at least
+  // (span_out/span_in)x further apart (up to rounding).
+  const std::int64_t a = affine_rescale(100, 64, 63, 1023);
+  const std::int64_t b = affine_rescale(101, 64, 63, 1023);
+  EXPECT_GE(b - a, (1023 / 63) - 1);
+}
+
+TEST(MathUtil, RankBelow) {
+  const ValueSet xs{5, 3, 8, 3, 10};
+  EXPECT_EQ(rank_below(xs, 3), 0u);
+  EXPECT_EQ(rank_below(xs, 4), 2u);
+  EXPECT_EQ(rank_below(xs, 5), 2u);
+  EXPECT_EQ(rank_below(xs, 6), 3u);
+  EXPECT_EQ(rank_below(xs, 11), 5u);
+}
+
+TEST(MathUtil, ReferenceOrderStatisticDefinition) {
+  // Check the Definition 2.3 predicate directly: l(y) < k and l(y+1) >= k.
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 1 + rng.next_below(40);
+    ValueSet xs(n);
+    for (auto& x : xs) x = static_cast<Value>(rng.next_below(50));
+    const std::int64_t twice_k =
+        1 + static_cast<std::int64_t>(rng.next_below(2 * n));
+    const Value y = reference_order_statistic(xs, twice_k);
+    // l(y) < k  <=>  2*l(y) < twice_k ; l(y+1) >= k <=> 2*l(y+1) >= twice_k.
+    EXPECT_LT(2 * static_cast<std::int64_t>(rank_below(xs, y)), twice_k);
+    EXPECT_GE(2 * static_cast<std::int64_t>(rank_below(xs, y + 1)), twice_k);
+  }
+}
+
+TEST(MathUtil, ReferenceMedianSimpleCases) {
+  EXPECT_EQ(reference_median({7}), 7);
+  EXPECT_EQ(reference_median({1, 2, 3}), 2);
+  EXPECT_EQ(reference_median({1, 2, 3, 4}), 2);  // OS(X, N/2) lower median
+  EXPECT_EQ(reference_median({5, 5, 5, 5}), 5);
+  EXPECT_EQ(reference_median({10, 0}), 0);
+}
+
+TEST(MathUtil, ReferenceOrderStatisticBounds) {
+  EXPECT_THROW(reference_order_statistic({1, 2}, 0), PreconditionError);
+  EXPECT_THROW(reference_order_statistic({1, 2}, 5), PreconditionError);
+  EXPECT_THROW(reference_order_statistic({}, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sensornet

@@ -1,0 +1,127 @@
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace sensornet {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundThrows) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Xoshiro256 rng(17);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++hist[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (const int h : hist) {
+    EXPECT_NEAR(h, expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BoolEdgeProbabilities) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, GeometricRankMeanIsTwo) {
+  // Geometric(1/2) on {1,2,...} has mean 2 and P(rank >= k) = 2^{1-k}.
+  Xoshiro256 rng(21);
+  constexpr int kSamples = 100000;
+  double sum = 0;
+  int at_least_10 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto rank = rng.next_geometric_rank();
+    ASSERT_GE(rank, 1u);
+    sum += rank;
+    if (rank >= 10) ++at_least_10;
+  }
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.05);
+  // P(rank >= 10) = 2^-9 ~ 0.00195.
+  EXPECT_NEAR(at_least_10 / static_cast<double>(kSamples), 0.00195, 0.001);
+}
+
+TEST(Rng, MaxOfNGeometricsTracksLogN) {
+  // The Fact 2.2 heuristic: max of N geometric samples ~ log2 N.
+  Xoshiro256 rng(33);
+  for (const int n : {256, 4096}) {
+    double total_max = 0;
+    for (int rep = 0; rep < 40; ++rep) {
+      std::uint32_t best = 0;
+      for (int i = 0; i < n; ++i) {
+        best = std::max(best, rng.next_geometric_rank());
+      }
+      total_max += best;
+    }
+    const double avg_max = total_max / 40.0;
+    const double log_n = std::log2(n);
+    EXPECT_NEAR(avg_max, log_n + 0.5, 2.5) << "n=" << n;
+  }
+}
+
+TEST(Rng, NodeStreamsIndependent) {
+  Xoshiro256 a = node_rng(42, 0);
+  Xoshiro256 b = node_rng(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NodeStreamsReproducible) {
+  Xoshiro256 a = node_rng(42, 7);
+  Xoshiro256 b = node_rng(42, 7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace sensornet

@@ -1,0 +1,127 @@
+#include "src/common/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/error.hpp"
+
+namespace sensornet {
+namespace {
+
+class WorkloadKindTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(WorkloadKindTest, SizeAndBoundsRespected) {
+  Xoshiro256 rng(11);
+  for (const std::size_t n : {1UL, 7UL, 256UL}) {
+    const Value max_value = 10000;
+    const ValueSet xs = generate_workload(GetParam(), n, max_value, rng);
+    ASSERT_EQ(xs.size(), n);
+    for (const Value x : xs) {
+      EXPECT_GE(x, 0);
+      EXPECT_LE(x, max_value);
+    }
+  }
+}
+
+TEST_P(WorkloadKindTest, DeterministicGivenRngState) {
+  Xoshiro256 a(77);
+  Xoshiro256 b(77);
+  EXPECT_EQ(generate_workload(GetParam(), 100, 1000, a),
+            generate_workload(GetParam(), 100, 1000, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WorkloadKindTest,
+    ::testing::Values(WorkloadKind::kUniform, WorkloadKind::kZipf,
+                      WorkloadKind::kClusteredField, WorkloadKind::kAllEqual,
+                      WorkloadKind::kTwoPoint, WorkloadKind::kDenseCenter),
+    [](const auto& info) {
+      std::string n = workload_name(info.param);
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(Workload, AllEqualIsConstant) {
+  Xoshiro256 rng(1);
+  const ValueSet xs =
+      generate_workload(WorkloadKind::kAllEqual, 50, 999, rng);
+  for (const Value x : xs) EXPECT_EQ(x, xs[0]);
+}
+
+TEST(Workload, TwoPointHasExactlyTwoValues) {
+  Xoshiro256 rng(2);
+  const ValueSet xs =
+      generate_workload(WorkloadKind::kTwoPoint, 64, 1000, rng);
+  std::unordered_set<Value> distinct(xs.begin(), xs.end());
+  EXPECT_EQ(distinct.size(), 2u);
+  // Balanced halves.
+  const auto low = *std::min_element(xs.begin(), xs.end());
+  const auto low_count = std::count(xs.begin(), xs.end(), low);
+  EXPECT_EQ(low_count, 32);
+}
+
+TEST(Workload, DenseCenterStaysNearMidpoint) {
+  Xoshiro256 rng(3);
+  const Value max_value = 1000000;
+  const std::size_t n = 128;
+  const ValueSet xs =
+      generate_workload(WorkloadKind::kDenseCenter, n, max_value, rng);
+  for (const Value x : xs) {
+    EXPECT_NEAR(static_cast<double>(x), max_value / 2.0,
+                static_cast<double>(n) + 1);
+  }
+}
+
+TEST(Workload, ZipfIsHeavyHeaded) {
+  Xoshiro256 rng(4);
+  const ValueSet xs = generate_workload(WorkloadKind::kZipf, 2000, 100000, rng);
+  const auto small = std::count_if(xs.begin(), xs.end(),
+                                   [](Value x) { return x < 100; });
+  EXPECT_GT(small, 1000);  // most mass near zero
+}
+
+TEST(Workload, DistinctCountExact) {
+  Xoshiro256 rng(5);
+  for (const std::size_t d : {1UL, 5UL, 100UL}) {
+    const ValueSet xs = generate_with_distinct(200, d, 1 << 20, rng);
+    ASSERT_EQ(xs.size(), 200u);
+    std::unordered_set<Value> distinct(xs.begin(), xs.end());
+    EXPECT_EQ(distinct.size(), d);
+  }
+}
+
+TEST(Workload, DistinctRejectsImpossible) {
+  Xoshiro256 rng(6);
+  EXPECT_THROW(generate_with_distinct(5, 10, 100, rng), PreconditionError);
+  EXPECT_THROW(generate_with_distinct(10, 0, 100, rng), PreconditionError);
+}
+
+TEST(Workload, DisjointnessGroundTruth) {
+  Xoshiro256 rng(7);
+  const auto disjoint = generate_disjointness(50, 0, 1 << 20, rng);
+  EXPECT_TRUE(disjoint.disjoint);
+  std::unordered_set<Value> a(disjoint.side_a.begin(), disjoint.side_a.end());
+  for (const Value v : disjoint.side_b) EXPECT_FALSE(a.contains(v));
+
+  const auto overlapping = generate_disjointness(50, 3, 1 << 20, rng);
+  EXPECT_FALSE(overlapping.disjoint);
+  std::unordered_set<Value> a2(overlapping.side_a.begin(),
+                               overlapping.side_a.end());
+  int shared = 0;
+  for (const Value v : overlapping.side_b) {
+    if (a2.contains(v)) ++shared;
+  }
+  EXPECT_EQ(shared, 3);
+}
+
+TEST(Workload, DisjointnessSidesHaveRequestedSize) {
+  Xoshiro256 rng(8);
+  const auto inst = generate_disjointness(25, 5, 1 << 16, rng);
+  EXPECT_EQ(inst.side_a.size(), 25u);
+  EXPECT_EQ(inst.side_b.size(), 25u);
+}
+
+}  // namespace
+}  // namespace sensornet

@@ -1,0 +1,179 @@
+// Theorem 4.5: the Fig. 2 driver returns an (alpha, beta)-median with
+// alpha = 3*sigma, beta = 1/N, with probability >= 1 - epsilon.
+#include "src/core/apx_median.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/common/workload.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/counting_service.hpp"
+
+namespace sensornet::core {
+namespace {
+
+/// Is `y` an (alpha, beta)-median of xs per Definition 2.4? There must exist
+/// y' within beta*max(X) of y whose rank straddles k within (1 +- alpha).
+bool is_apx_order_statistic(const ValueSet& xs, Value y, double k,
+                            double alpha, double beta) {
+  const Value max_x = *std::max_element(xs.begin(), xs.end());
+  const auto tolerance =
+      static_cast<Value>(std::ceil(beta * static_cast<double>(max_x)));
+  for (Value yp = y - tolerance; yp <= y + tolerance; ++yp) {
+    const double lo = static_cast<double>(rank_below(xs, yp));
+    const double hi = static_cast<double>(rank_below(xs, yp + 1));
+    if (lo < k * (1 + alpha) && hi >= k * (1 - alpha)) return true;
+  }
+  return false;
+}
+
+struct Services {
+  sim::Network net;
+  net::SpanningTree tree;
+  proto::TreeCountingService minmax;
+  proto::TreeApproxCountingService counter;
+
+  Services(const ValueSet& items, std::uint64_t seed, unsigned registers = 64)
+      : net(net::make_line(items.size()), seed),
+        tree(net::bfs_tree(net.graph(), 0)),
+        minmax(net, tree),
+        counter(net, tree, make_config(registers)) {
+    net.set_one_item_per_node(items);
+  }
+
+  static proto::ApxCountConfig make_config(unsigned registers) {
+    proto::ApxCountConfig cfg;
+    cfg.registers = registers;
+    return cfg;
+  }
+};
+
+TEST(ApxMedian, DegenerateAllEqual) {
+  Services s(ValueSet(8, 5), 1);
+  ApxSelectionParams params;
+  const auto res = approx_median(s.minmax, s.counter, params);
+  EXPECT_EQ(res.value, 5);
+  EXPECT_EQ(res.apx_count_calls, 0u);  // min == max short-circuit
+}
+
+TEST(ApxMedian, EmptyThrows) {
+  sim::Network net(net::make_line(3), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  proto::TreeCountingService minmax(net, tree);
+  proto::ApxCountConfig cfg;
+  proto::TreeApproxCountingService counter(net, tree, cfg);
+  EXPECT_THROW(approx_median(minmax, counter, {}), PreconditionError);
+}
+
+TEST(ApxMedian, RejectsBadParams) {
+  Services s(ValueSet{1, 2, 3}, 1);
+  ApxSelectionParams params;
+  params.epsilon = 0.0;
+  EXPECT_THROW(approx_median(s.minmax, s.counter, params), PreconditionError);
+  params.epsilon = 0.5;
+  params.rep_scale = 0.0;
+  EXPECT_THROW(approx_median(s.minmax, s.counter, params), PreconditionError);
+}
+
+TEST(ApxMedian, SuccessRateMeetsTheorem) {
+  // Paper schedule at epsilon = 0.5 over a spread-out workload; alpha=3sigma,
+  // beta=1/N must hold in well over 1 - epsilon of the trials. Small value
+  // range keeps q = log(M-m)/eps (and so the repetition counts) affordable.
+  Xoshiro256 rng(41);
+  const std::size_t n = 32;
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, 63, rng);
+  int successes = 0;
+  constexpr int kTrials = 15;
+  ApxSelectionParams params;
+  params.epsilon = 0.5;
+  for (int t = 0; t < kTrials; ++t) {
+    Services s(xs, 7000 + t, /*registers=*/16);
+    const auto res = approx_median(s.minmax, s.counter, params);
+    const double alpha = 3.0 * s.counter.sigma();
+    const double beta = 1.0 / static_cast<double>(n);
+    if (is_apx_order_statistic(xs, res.value, n / 2.0, alpha, beta)) {
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 11) << successes << "/" << kTrials;
+}
+
+TEST(ApxMedian, DenseCenterHaltsEarlyAndStaysAccurate) {
+  // When mass is packed around the median, every pivot near the middle has
+  // rank within noise of N/2 -> the dead band triggers (line 4.2.1) and the
+  // output is still an (alpha, beta)-median.
+  Xoshiro256 rng(43);
+  const std::size_t n = 48;
+  const ValueSet xs =
+      generate_workload(WorkloadKind::kDenseCenter, n, 4096, rng);
+  Services s(xs, 99, /*registers=*/16);
+  ApxSelectionParams params;
+  params.epsilon = 0.5;
+  const auto res = approx_median(s.minmax, s.counter, params);
+  const double alpha = 3.0 * s.counter.sigma();
+  EXPECT_TRUE(is_apx_order_statistic(xs, res.value, n / 2.0, alpha,
+                                     2.0 / static_cast<double>(n)));
+}
+
+TEST(ApxMedian, OrderStatisticTargetsOtherRanks) {
+  Xoshiro256 rng(47);
+  const std::size_t n = 32;
+  ValueSet xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = static_cast<Value>(i * 4);  // well-separated ranks
+  }
+  std::shuffle(xs.begin(), xs.end(), rng);
+  for (const double k : {8.0, 24.0}) {
+    int ok = 0;
+    constexpr int kTrials = 8;
+    for (int t = 0; t < kTrials; ++t) {
+      Services s(xs, 500 + t, /*registers=*/16);
+      ApxSelectionParams params;
+      params.epsilon = 0.5;
+      params.rep_scale = 0.25;  // scaled schedule; guarantee degrades gently
+      params.k_absolute = k;
+      const auto res = approx_median(s.minmax, s.counter, params);
+      const double alpha = 3.0 * s.counter.sigma() + 0.2;  // small-N slack
+      if (is_apx_order_statistic(xs, res.value, k, alpha, 0.1)) ++ok;
+    }
+    EXPECT_GE(ok, 5) << "k=" << k;
+  }
+}
+
+TEST(ApxMedian, RepetitionCountsFollowSchedule) {
+  // q = log2(M-m)/eps; line 2 runs ceil(2q), each loop iteration ceil(32q).
+  const std::size_t n = 16;
+  ValueSet xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = static_cast<Value>(1 + i * 17);  // M - m = 255
+  }
+  Services s(xs, 3, /*registers=*/16);
+  ApxSelectionParams params;
+  params.epsilon = 0.5;
+  const auto res = approx_median(s.minmax, s.counter, params);
+  const double q = std::log2(255.0) / 0.5;
+  const auto r_init = static_cast<unsigned>(std::ceil(2 * q));
+  const auto r_loop = static_cast<unsigned>(std::ceil(32 * q));
+  EXPECT_EQ(res.apx_count_calls, r_init + res.iterations * r_loop);
+  EXPECT_LE(res.iterations, ceil_log2(255));
+}
+
+TEST(ApxMedian, RepScaleReducesInvocations) {
+  const ValueSet xs{10, 20, 30, 40, 50, 60, 70, 80};
+  Services a(xs, 5);
+  ApxSelectionParams full;
+  full.epsilon = 0.5;
+  const auto res_full = approx_median(a.minmax, a.counter, full);
+  Services b(xs, 5);
+  ApxSelectionParams scaled = full;
+  scaled.rep_scale = 0.1;
+  const auto res_scaled = approx_median(b.minmax, b.counter, scaled);
+  EXPECT_LT(res_scaled.apx_count_calls, res_full.apx_count_calls);
+}
+
+}  // namespace
+}  // namespace sensornet::core

@@ -1,0 +1,137 @@
+// Section 5: exact COUNT_DISTINCT is linear, approximate is cheap+accurate.
+#include "src/core/count_distinct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/workload.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::core {
+namespace {
+
+struct Net {
+  sim::Network net;
+  net::SpanningTree tree;
+  Net(const net::Graph& g, const ValueSet& xs, std::uint64_t seed = 1)
+      : net(g, seed), tree(net::bfs_tree(g, 0)) {
+    net.set_one_item_per_node(xs);
+  }
+};
+
+TEST(ExactDistinct, SmallCases) {
+  Net f(net::make_line(5), {7, 7, 3, 7, 3});
+  EXPECT_EQ(exact_count_distinct(f.net, f.tree).distinct, 2u);
+}
+
+TEST(ExactDistinct, AllDistinct) {
+  ValueSet xs(20);
+  for (std::size_t i = 0; i < 20; ++i) xs[i] = static_cast<Value>(i * 13);
+  Net f(net::make_grid(4, 5), xs);
+  EXPECT_EQ(exact_count_distinct(f.net, f.tree).distinct, 20u);
+}
+
+TEST(ExactDistinct, MatchesGroundTruthOnRandomMultisets) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 30 + rng.next_below(40);
+    const std::size_t d = 1 + rng.next_below(n);
+    const ValueSet xs = generate_with_distinct(n, d, 1 << 24, rng);
+    Net f(net::make_line(n), xs, 10 + trial);
+    EXPECT_EQ(exact_count_distinct(f.net, f.tree).distinct, d);
+  }
+}
+
+TEST(ExactDistinct, BitsGrowLinearlyWithDistinctCount) {
+  // The "unique" aggregate of [9]: per-node bits scale with D, not log N.
+  std::uint64_t bits_small = 0;
+  std::uint64_t bits_large = 0;
+  Xoshiro256 rng(7);
+  const std::size_t n = 256;
+  {
+    const ValueSet xs = generate_with_distinct(n, 8, 1 << 20, rng);
+    Net f(net::make_line(n), xs);
+    bits_small = exact_count_distinct(f.net, f.tree).max_node_bits;
+  }
+  {
+    const ValueSet xs = generate_with_distinct(n, 256, 1 << 20, rng);
+    Net f(net::make_line(n), xs);
+    bits_large = exact_count_distinct(f.net, f.tree).max_node_bits;
+  }
+  // 32x more distinct values -> at least ~8x more bits at the bottleneck.
+  EXPECT_GT(bits_large, 8 * bits_small);
+}
+
+TEST(ApproxDistinct, DuplicateInsensitive) {
+  // 200 copies of 10 values must estimate ~10, not ~200.
+  ValueSet xs(200);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<Value>((i % 10) * 997);
+  }
+  Net f(net::make_line(200), xs);
+  const auto res = approx_count_distinct(f.net, f.tree, 64,
+                                         proto::EstimatorKind::kHyperLogLog);
+  EXPECT_NEAR(res.estimate, 10.0, 6.0);
+}
+
+TEST(ApproxDistinct, AccuracyWithinPaperBound) {
+  // Paper Section 5: with k^2 registers the answer is within (1 +- 3.15/k)
+  // w.p. 99%. k = 8 -> m = 64 registers, tolerance ~39%. Average over trials
+  // should be far inside.
+  Xoshiro256 rng(11);
+  const std::size_t n = 400;
+  const std::size_t d = 200;
+  int within = 0;
+  constexpr int kTrials = 12;
+  for (int t = 0; t < kTrials; ++t) {
+    const ValueSet xs = generate_with_distinct(n, d, 1 << 24, rng);
+    Net f(net::make_line(n), xs, 50 + t);
+    const auto res = approx_count_distinct(
+        f.net, f.tree, 64, proto::EstimatorKind::kHyperLogLog);
+    if (std::abs(res.estimate - static_cast<double>(d)) <=
+        (3.15 / 8.0) * static_cast<double>(d)) {
+      ++within;
+    }
+  }
+  EXPECT_GE(within, 11) << within << "/" << kTrials;
+}
+
+TEST(ApproxDistinct, BitsAreDistinctCountIndependent) {
+  // The contrast of Section 5: approximate cost does not grow with D.
+  Xoshiro256 rng(13);
+  const std::size_t n = 256;
+  std::uint64_t bits_small = 0;
+  std::uint64_t bits_large = 0;
+  {
+    const ValueSet xs = generate_with_distinct(n, 8, 1 << 20, rng);
+    Net f(net::make_line(n), xs);
+    bits_small = approx_count_distinct(f.net, f.tree, 64,
+                                       proto::EstimatorKind::kHyperLogLog)
+                     .max_node_bits;
+  }
+  {
+    const ValueSet xs = generate_with_distinct(n, 256, 1 << 20, rng);
+    Net f(net::make_line(n), xs);
+    bits_large = approx_count_distinct(f.net, f.tree, 64,
+                                       proto::EstimatorKind::kHyperLogLog)
+                     .max_node_bits;
+  }
+  EXPECT_EQ(bits_small, bits_large);  // registers have fixed wire size
+}
+
+TEST(ApproxDistinct, LogLogEstimatorAlsoWorks) {
+  Xoshiro256 rng(17);
+  const std::size_t n = 300;
+  const std::size_t d = 250;  // d >> m so raw LogLog is in its regime
+  const ValueSet xs = generate_with_distinct(n, d, 1 << 24, rng);
+  Net f(net::make_line(n), xs);
+  const auto res = approx_count_distinct(f.net, f.tree, 16,
+                                         proto::EstimatorKind::kLogLog);
+  EXPECT_NEAR(res.estimate / static_cast<double>(d), 1.0, 0.8);
+  EXPECT_NEAR(res.expected_sigma, (1.30 + 2.6 / 16) / 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sensornet::core

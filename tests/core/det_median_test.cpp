@@ -1,0 +1,206 @@
+// Theorem 3.2: the Fig. 1 driver returns the exact Definition 2.3 median /
+// order statistic over every workload and topology, in ceil(log(M-m))
+// iterations, preserving the Lemma 3.1 loop invariant.
+#include "src/core/det_median.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/common/workload.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/counting_service.hpp"
+
+namespace sensornet::core {
+namespace {
+
+struct Fixture {
+  sim::Network net;
+  net::SpanningTree tree;
+  proto::TreeCountingService svc;
+
+  Fixture(const net::Graph& g, const ValueSet& items, std::uint64_t seed = 1)
+      : net(g, seed), tree(net::bfs_tree(g, 0)), svc(net, tree) {
+    net.set_one_item_per_node(items);
+  }
+};
+
+TEST(DetMedian, TinyCases) {
+  {
+    Fixture f(net::make_line(1), {42});
+    EXPECT_EQ(deterministic_median(f.svc).value, 42);
+  }
+  {
+    Fixture f(net::make_line(2), {10, 20});
+    EXPECT_EQ(deterministic_median(f.svc).value, 10);  // lower median
+  }
+  {
+    Fixture f(net::make_line(3), {30, 10, 20});
+    EXPECT_EQ(deterministic_median(f.svc).value, 20);
+  }
+}
+
+TEST(DetMedian, AllEqualDegenerate) {
+  Fixture f(net::make_line(6), ValueSet(6, 17));
+  const auto res = deterministic_median(f.svc);
+  EXPECT_EQ(res.value, 17);
+  EXPECT_EQ(res.iterations, 0u);  // M == m short-circuit
+}
+
+TEST(DetMedian, AdjacentValues) {
+  // M - m == 1: the loop body never runs; line 4.1 resolves the tie.
+  Fixture f(net::make_line(4), {5, 5, 6, 6});
+  const auto res = deterministic_median(f.svc);
+  EXPECT_EQ(res.value, 5);
+  EXPECT_EQ(res.iterations, 0u);
+  EXPECT_EQ(res.countp_calls, 1u);
+}
+
+TEST(DetMedian, TwoPointMass) {
+  Xoshiro256 rng(3);
+  const ValueSet xs = generate_workload(WorkloadKind::kTwoPoint, 32,
+                                        1 << 20, rng);
+  Fixture f(net::make_line(32), xs);
+  EXPECT_EQ(deterministic_median(f.svc).value, reference_median(xs));
+}
+
+TEST(DetMedian, IterationCountMatchesTheorem) {
+  // Exactly ceil(log2(M - m)) loop iterations.
+  Fixture f(net::make_line(8), {0, 100, 200, 300, 400, 500, 600, 1000});
+  const auto res = deterministic_median(f.svc);
+  EXPECT_EQ(res.iterations, ceil_log2(1000));
+  EXPECT_EQ(res.value, reference_median(
+                           {0, 100, 200, 300, 400, 500, 600, 1000}));
+}
+
+TEST(DetMedian, Lemma31InvariantHoldsOnTrace) {
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + rng.next_below(30);
+    ValueSet xs(n);
+    for (auto& x : xs) x = static_cast<Value>(rng.next_below(100000));
+    Fixture f(net::make_line(n), xs, 100 + trial);
+    SearchTrace trace;
+    const auto res = deterministic_median(f.svc, &trace);
+    const Value mu = reference_median(xs);
+    EXPECT_EQ(res.value, mu);
+    for (const auto& [y2, z2] : trace) {
+      // mu in [y - z, y + z]  <=>  2*mu in [y2 - z2, y2 + z2].
+      EXPECT_GE(2 * mu, y2 - z2);
+      EXPECT_LE(2 * mu, y2 + z2);
+    }
+  }
+}
+
+TEST(DetMedian, OrderStatisticsAllRanks) {
+  const ValueSet xs{12, 3, 45, 7, 23, 9, 31, 18};
+  Fixture f(net::make_grid(2, 4), xs);
+  for (std::int64_t twice_k = 1;
+       twice_k <= 2 * static_cast<std::int64_t>(xs.size()); ++twice_k) {
+    const auto res = deterministic_order_statistic(f.svc, twice_k);
+    EXPECT_EQ(res.value, reference_order_statistic(xs, twice_k))
+        << "twice_k=" << twice_k;
+  }
+}
+
+TEST(DetMedian, MinAndMaxAsOrderStatistics) {
+  const ValueSet xs{50, 20, 80, 10, 60};
+  Fixture f(net::make_line(5), xs);
+  EXPECT_EQ(deterministic_order_statistic(f.svc, 2).value, 10);   // k=1
+  EXPECT_EQ(deterministic_order_statistic(f.svc, 10).value, 80);  // k=N
+}
+
+TEST(DetMedian, EmptyInputThrows) {
+  sim::Network net(net::make_line(3), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  proto::TreeCountingService svc(net, tree);
+  EXPECT_THROW(deterministic_median(svc), PreconditionError);
+}
+
+TEST(DetMedian, MultisetNodesSupported) {
+  sim::Network net(net::make_line(3), 1);
+  net.set_items(0, {1, 2, 3, 4});
+  net.set_items(1, {});
+  net.set_items(2, {5, 6, 7});
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  proto::TreeCountingService svc(net, tree);
+  EXPECT_EQ(deterministic_median(svc).value, 4);
+}
+
+TEST(DetMedian, CommunicationScalesAsLogSquared) {
+  // Theorem 3.2's shape claim: max-bits-per-node / log^2(N) stays bounded
+  // as N grows (values polynomial in N).
+  double prev_ratio = 0.0;
+  for (const std::size_t n : {64UL, 256UL, 1024UL}) {
+    sim::Network net(net::make_line(n), 7);
+    Xoshiro256 rng(7);
+    ValueSet xs(n);
+    for (auto& x : xs) {
+      x = static_cast<Value>(rng.next_below(n * n));  // X = N^2
+    }
+    net.set_one_item_per_node(xs);
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    proto::TreeCountingService svc(net, tree);
+    EXPECT_EQ(deterministic_median(svc).value, reference_median(xs));
+    const double log_n = static_cast<double>(ceil_log2(n));
+    const double ratio = static_cast<double>(net.summary().max_node_bits) /
+                         (log_n * log_n);
+    if (prev_ratio > 0.0) {
+      EXPECT_LT(ratio, prev_ratio * 2.0) << "n=" << n;  // no super-log^2 blowup
+    }
+    prev_ratio = ratio;
+  }
+}
+
+struct SweepParam {
+  net::TopologyKind topology;
+  WorkloadKind workload;
+};
+
+class DetMedianSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DetMedianSweep, ExactOnEveryTopologyAndWorkload) {
+  Xoshiro256 rng(31);
+  for (const std::size_t n : {5UL, 17UL, 48UL}) {
+    const net::Graph g = net::make_topology(GetParam().topology, n, rng);
+    const std::size_t actual_n = g.node_count();
+    const ValueSet xs =
+        generate_workload(GetParam().workload, actual_n, 1 << 16, rng);
+    sim::Network net(g, 1000 + n);
+    net.set_one_item_per_node(xs);
+    const net::SpanningTree tree = net::bfs_tree(g, 0);
+    proto::TreeCountingService svc(net, tree);
+    EXPECT_EQ(deterministic_median(svc).value, reference_median(xs))
+        << net::topology_name(GetParam().topology) << "/"
+        << workload_name(GetParam().workload) << " n=" << actual_n;
+  }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  for (const auto t : {net::TopologyKind::kLine, net::TopologyKind::kGrid,
+                       net::TopologyKind::kBalancedTree,
+                       net::TopologyKind::kGeometric}) {
+    for (const auto w :
+         {WorkloadKind::kUniform, WorkloadKind::kZipf, WorkloadKind::kAllEqual,
+          WorkloadKind::kTwoPoint, WorkloadKind::kDenseCenter}) {
+      out.push_back({t, w});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetMedianSweep, ::testing::ValuesIn(sweep_params()),
+    [](const auto& info) {
+      std::string n = std::string(net::topology_name(info.param.topology)) +
+                      "_" + workload_name(info.param.workload);
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+}  // namespace
+}  // namespace sensornet::core

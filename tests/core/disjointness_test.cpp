@@ -1,0 +1,120 @@
+// Theorem 5.1's constructive reduction: 2SD answered through COUNT_DISTINCT.
+#include "src/core/disjointness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/workload.hpp"
+
+namespace sensornet::core {
+namespace {
+
+TEST(Disjointness, DisjointSidesDeclaredDisjoint) {
+  Xoshiro256 rng(1);
+  const auto inst = generate_disjointness(20, 0, 1 << 20, rng);
+  const auto report =
+      solve_disjointness_via_count_distinct(inst.side_a, inst.side_b);
+  EXPECT_TRUE(report.declared_disjoint);
+  EXPECT_EQ(report.distinct_count, 40u);
+}
+
+TEST(Disjointness, SingleSharedElementDetected) {
+  // The crux of the lower bound: a difference of ONE in COUNT_DISTINCT flips
+  // the 2SD answer — which is why approximation can't help.
+  Xoshiro256 rng(2);
+  const auto inst = generate_disjointness(20, 1, 1 << 20, rng);
+  const auto report =
+      solve_disjointness_via_count_distinct(inst.side_a, inst.side_b);
+  EXPECT_FALSE(report.declared_disjoint);
+  EXPECT_EQ(report.distinct_count, 39u);
+}
+
+TEST(Disjointness, ManyOverlaps) {
+  Xoshiro256 rng(3);
+  const auto inst = generate_disjointness(30, 15, 1 << 20, rng);
+  const auto report =
+      solve_disjointness_via_count_distinct(inst.side_a, inst.side_b);
+  EXPECT_FALSE(report.declared_disjoint);
+  EXPECT_EQ(report.distinct_count, 45u);
+}
+
+TEST(Disjointness, RandomInstancesAlwaysCorrect) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t per_side = 5 + rng.next_below(40);
+    const std::size_t shared = rng.next_below(per_side + 1);
+    const auto inst = generate_disjointness(per_side, shared, 1 << 22, rng);
+    const auto report =
+        solve_disjointness_via_count_distinct(inst.side_a, inst.side_b);
+    EXPECT_EQ(report.declared_disjoint, inst.disjoint)
+        << "per_side=" << per_side << " shared=" << shared;
+  }
+}
+
+TEST(Disjointness, CutBitsGrowLinearly) {
+  // Omega(n) made visible: bits across the A|B cut scale ~linearly in n.
+  Xoshiro256 rng(5);
+  std::uint64_t cut_small = 0;
+  std::uint64_t cut_large = 0;
+  {
+    const auto inst = generate_disjointness(16, 0, 1 << 24, rng);
+    cut_small = solve_disjointness_via_count_distinct(inst.side_a, inst.side_b)
+                    .cut_bits;
+  }
+  {
+    const auto inst = generate_disjointness(256, 0, 1 << 24, rng);
+    cut_large = solve_disjointness_via_count_distinct(inst.side_a, inst.side_b)
+                    .cut_bits;
+  }
+  EXPECT_GT(cut_large, 8 * cut_small);  // 16x n -> >= 8x bits
+  EXPECT_GT(cut_small, 16u * 4u);       // at least a few bits per element
+}
+
+TEST(Disjointness, MultiItemInterpretationCorrect) {
+  // Theorem 5.1's first reading: A simulates the root, B all other nodes.
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t per_side = 10 + rng.next_below(60);
+    const std::size_t shared = rng.next_below(per_side + 1);
+    const std::size_t b_nodes = 1 + rng.next_below(7);
+    const auto inst = generate_disjointness(per_side, shared, 1 << 22, rng);
+    const auto rep = solve_disjointness_multi_item(inst.side_a, inst.side_b,
+                                                   b_nodes);
+    EXPECT_EQ(rep.declared_disjoint, inst.disjoint)
+        << "per_side=" << per_side << " shared=" << shared
+        << " b_nodes=" << b_nodes;
+  }
+}
+
+TEST(Disjointness, MultiItemCutCarriesAllOfB) {
+  // With A at the root, every distinct value of B must cross the root edge:
+  // the watched cut grows linearly in |B| even when |A| is huge.
+  Xoshiro256 rng(37);
+  std::uint64_t cut_small = 0;
+  std::uint64_t cut_large = 0;
+  for (const std::size_t b_size : {32UL, 256UL}) {
+    const auto inst = generate_disjointness(b_size, 0, 1 << 24, rng);
+    const auto rep =
+        solve_disjointness_multi_item(inst.side_a, inst.side_b, 4);
+    (b_size == 32 ? cut_small : cut_large) = rep.cut_bits;
+  }
+  EXPECT_GT(cut_large, 4 * cut_small);
+}
+
+TEST(Disjointness, EmptySideRejected) {
+  EXPECT_THROW(solve_disjointness_via_count_distinct({}, {1}),
+               PreconditionError);
+}
+
+TEST(Disjointness, ReportCarriesSizes) {
+  Xoshiro256 rng(6);
+  const auto inst = generate_disjointness(12, 2, 1 << 20, rng);
+  const auto report =
+      solve_disjointness_via_count_distinct(inst.side_a, inst.side_b);
+  EXPECT_EQ(report.side_a_size, 12u);
+  EXPECT_EQ(report.side_b_size, 12u);
+  EXPECT_GT(report.max_node_bits, 0u);
+}
+
+}  // namespace
+}  // namespace sensornet::core

@@ -1,0 +1,158 @@
+// The paper's headline separations, as executable assertions:
+//   * Fig. 1 beats TAG collect-all asymptotically (log^2 vs linear)
+//   * exact COUNT_DISTINCT is linear while hashed LogLog is flat
+//   * tree COUNT is logarithmic while the LogLog register wave is loglog
+//     in its count payload
+//   * bounded-degree trees cap the individual cost that star roots pay
+#include <gtest/gtest.h>
+
+#include "src/baseline/tag_collect.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/common/workload.hpp"
+#include "src/core/count_distinct.hpp"
+#include "src/core/det_median.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/counting_service.hpp"
+
+namespace sensornet {
+namespace {
+
+std::uint64_t det_median_bits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ValueSet xs(n);
+  for (auto& x : xs) {
+    x = static_cast<Value>(rng.next_below(n * n));  // log X = 2 log N
+  }
+  sim::Network net(net::make_line(n), seed);
+  net.set_one_item_per_node(xs);
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  proto::TreeCountingService svc(net, tree);
+  core::deterministic_median(svc);
+  return net.summary().max_node_bits;
+}
+
+std::uint64_t tag_bits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ValueSet xs(n);
+  for (auto& x : xs) x = static_cast<Value>(rng.next_below(n * n));
+  sim::Network net(net::make_line(n), seed);
+  net.set_one_item_per_node(xs);
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  baseline::tag_collect_median(net, tree);
+  return net.summary().max_node_bits;
+}
+
+TEST(Complexity, Fig1BeatsCollectAllAndGapWidens) {
+  // At small N collect-all can win on constants; by N=1024 Fig. 1 must be
+  // far cheaper, and the advantage must grow with N.
+  const double gap_256 = static_cast<double>(tag_bits(256, 3)) /
+                         static_cast<double>(det_median_bits(256, 3));
+  const double gap_1024 = static_cast<double>(tag_bits(1024, 3)) /
+                          static_cast<double>(det_median_bits(1024, 3));
+  EXPECT_GT(gap_1024, 1.0);        // binary search wins outright
+  EXPECT_GT(gap_1024, gap_256);    // and the gap widens with N
+}
+
+TEST(Complexity, DetMedianGrowthIsPolylog) {
+  // Quadrupling N multiplies log^2 N by ~ ((log 4N)/(log N))^2 < 1.5 at
+  // these sizes; linear growth would multiply by 4.
+  const auto b256 = det_median_bits(256, 7);
+  const auto b1024 = det_median_bits(1024, 7);
+  EXPECT_LT(static_cast<double>(b1024),
+            2.0 * static_cast<double>(b256));
+}
+
+TEST(Complexity, TagGrowthIsLinear) {
+  const auto b256 = tag_bits(256, 9);
+  const auto b1024 = tag_bits(1024, 9);
+  EXPECT_GT(static_cast<double>(b1024), 3.0 * static_cast<double>(b256));
+}
+
+TEST(Complexity, ExactDistinctLinearApproxFlat) {
+  Xoshiro256 rng(11);
+  const auto run = [&](std::size_t n, bool exact) {
+    const ValueSet xs = generate_with_distinct(n, n, 1 << 22, rng);
+    sim::Network net(net::make_line(n), n);
+    net.set_one_item_per_node(xs);
+    const auto tree = net::bfs_tree(net.graph(), 0);
+    if (exact) {
+      return core::exact_count_distinct(net, tree).max_node_bits;
+    }
+    return core::approx_count_distinct(net, tree, 64,
+                                       proto::EstimatorKind::kHyperLogLog)
+        .max_node_bits;
+  };
+  const auto exact_128 = run(128, true);
+  const auto exact_512 = run(512, true);
+  EXPECT_GT(exact_512, 3 * exact_128);  // linear in D
+
+  const auto approx_128 = run(128, false);
+  const auto approx_512 = run(512, false);
+  // Register wire size is fixed; only the loglog-width can nudge.
+  EXPECT_LT(static_cast<double>(approx_512),
+            1.5 * static_cast<double>(approx_128));
+  EXPECT_LT(approx_512, exact_512);
+}
+
+TEST(Complexity, CountWaveResponseBitsAreLogarithmic) {
+  // The root's child on a line forwards the full count: its payload is
+  // ~log2 N + O(log log N) bits per response.
+  for (const std::size_t n : {256UL, 4096UL}) {
+    sim::Network net(net::make_line(n), 13);
+    net.set_one_item_per_node(ValueSet(n, 1));
+    const auto tree = net::bfs_tree(net.graph(), 0);
+    proto::TreeCountingService svc(net, tree);
+    svc.count_all();
+    const std::uint64_t bits = net.summary().max_node_bits;
+    EXPECT_LE(bits, 4 * ceil_log2(n) + 24) << "n=" << n;
+    EXPECT_GE(bits, ceil_log2(n)) << "n=" << n;
+  }
+}
+
+TEST(Complexity, BoundedDegreeTreeCapsIndividualCost) {
+  // On a star (single-hop BFS tree), the hub receives from every child; a
+  // degree-capped tree spreads that load. Individual max-bits must drop.
+  const std::size_t n = 128;
+  ValueSet xs(n, 5);
+  std::uint64_t star_bits = 0;
+  std::uint64_t capped_bits = 0;
+  {
+    sim::Network net(net::make_complete(n), 1);
+    net.set_one_item_per_node(xs);
+    const auto tree = net::bfs_tree(net.graph(), 0);
+    proto::TreeCountingService svc(net, tree);
+    svc.count_all();
+    star_bits = net.summary().max_node_bits;
+  }
+  {
+    sim::Network net(net::make_complete(n), 1);
+    net.set_one_item_per_node(xs);
+    const auto tree = net::capped_bfs_tree(net.graph(), 0, 3);
+    proto::TreeCountingService svc(net, tree);
+    svc.count_all();
+    capped_bits = net.summary().max_node_bits;
+  }
+  EXPECT_LT(capped_bits, star_bits / 4);
+}
+
+TEST(Complexity, SearchIterationsScaleWithLogRange) {
+  // Iterations = ceil(log2(M-m)): doubling the value range adds one wave
+  // per doubling, independent of N.
+  for (const unsigned log_range : {8u, 16u}) {
+    const std::size_t n = 32;
+    ValueSet xs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = static_cast<Value>(
+          (i * ((1ULL << log_range) - 1)) / (n - 1));
+    }
+    sim::Network net(net::make_line(n), 3);
+    net.set_one_item_per_node(xs);
+    const auto tree = net::bfs_tree(net.graph(), 0);
+    proto::TreeCountingService svc(net, tree);
+    const auto res = core::deterministic_median(svc);
+    EXPECT_EQ(res.iterations, log_range) << "range 2^" << log_range;
+  }
+}
+
+}  // namespace
+}  // namespace sensornet

@@ -1,0 +1,201 @@
+// Cross-module scenarios: several protocols sharing one deployment, result
+// agreement between independent implementations, reproducibility, and
+// network-wide accounting invariants over full algorithm runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/baseline/gk_median.hpp"
+#include "src/baseline/sampling_median.hpp"
+#include "src/baseline/singlehop_median.hpp"
+#include "src/baseline/tag_collect.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/common/workload.hpp"
+#include "src/core/count_distinct.hpp"
+#include "src/core/det_median.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/counting_service.hpp"
+#include "src/proto/singlehop.hpp"
+#include "src/query/executor.hpp"
+
+namespace sensornet {
+namespace {
+
+TEST(EndToEnd, FourMedianImplementationsAgreeExactly) {
+  // Fig. 1 over a tree, Fig. 1 over single-hop, TAG collect-all, and the
+  // sorted reference all compute the same Definition 2.3 median.
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 10 + rng.next_below(50);
+    const Value X = 4095;
+    const ValueSet xs = generate_workload(
+        trial % 2 ? WorkloadKind::kZipf : WorkloadKind::kUniform, n, X, rng);
+    const Value expected = reference_median(xs);
+
+    {
+      sim::Network net(net::make_grid(5, (n + 4) / 5), 100 + trial);
+      for (NodeId u = 0; u < net.node_count(); ++u) {
+        if (u < n) net.set_items(u, {xs[u]});
+      }
+      const auto tree = net::bfs_tree(net.graph(), 0);
+      proto::TreeCountingService svc(net, tree);
+      EXPECT_EQ(core::deterministic_median(svc).value, expected);
+      EXPECT_EQ(baseline::tag_collect_median(net, tree).median, expected);
+    }
+    {
+      sim::Network net(net::make_complete(n), 200 + trial);
+      net.set_one_item_per_node(xs);
+      proto::SingleHopCountingService svc(net, 0, X);
+      EXPECT_EQ(core::deterministic_median(svc).value, expected);
+    }
+    {
+      sim::Network net(net::make_complete(n), 300 + trial);
+      net.set_one_item_per_node(xs);
+      EXPECT_EQ(baseline::single_hop_median(net, 0, X).median, expected);
+    }
+  }
+}
+
+TEST(EndToEnd, QueryLayerMatchesDirectProtocolCalls) {
+  Xoshiro256 rng(5);
+  const std::size_t n = 36;
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, 1023, rng);
+  sim::Network net(net::make_grid(6, 6), 7);
+  net.set_one_item_per_node(xs);
+  const auto tree = net::bfs_tree(net.graph(), 0);
+
+  query::Executor exec(query::Deployment{net, tree, 1023});
+  const double via_query = exec.run("SELECT MEDIAN(v) FROM sensors").value;
+
+  proto::TreeCountingService svc(net, tree);
+  const double direct =
+      static_cast<double>(core::deterministic_median(svc).value);
+  EXPECT_DOUBLE_EQ(via_query, direct);
+}
+
+TEST(EndToEnd, SameSeedSameTrafficSameAnswers) {
+  const auto run_once = [](std::uint64_t seed) {
+    Xoshiro256 rng(3);
+    const ValueSet xs =
+        generate_workload(WorkloadKind::kClusteredField, 49, 1 << 14, rng);
+    sim::Network net(net::make_grid(7, 7), seed);
+    net.set_one_item_per_node(xs);
+    const auto tree = net::bfs_tree(net.graph(), 0);
+    // Random-mode counting draws from the per-node streams, so the estimate
+    // is a deterministic function of the master seed.
+    proto::ApxCountConfig cfg;
+    cfg.registers = 64;
+    proto::TreeApproxCountingService svc(net, tree, cfg);
+    const double est = svc.apx_count(proto::Predicate::always_true());
+    return std::make_pair(est, net.summary().total_bits);
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run_once(43);
+  EXPECT_NE(a.first, c.first);  // different node randomness, different sketch
+}
+
+TEST(EndToEnd, HashedSketchesAreSeedIndependent) {
+  // The flip side: hashed-mode (distinct counting) depends only on the data
+  // and the salt sequence, never on node randomness — the property that
+  // makes it duplicate-insensitive.
+  const auto run_once = [](std::uint64_t seed) {
+    Xoshiro256 rng(3);
+    const ValueSet xs =
+        generate_workload(WorkloadKind::kClusteredField, 49, 1 << 14, rng);
+    sim::Network net(net::make_grid(7, 7), seed);
+    net.set_one_item_per_node(xs);
+    const auto tree = net::bfs_tree(net.graph(), 0);
+    return core::approx_count_distinct(net, tree, 64,
+                                       proto::EstimatorKind::kHyperLogLog)
+        .estimate;
+  };
+  EXPECT_EQ(run_once(42), run_once(43));
+}
+
+TEST(EndToEnd, ConservationHoldsAcrossFullAlgorithms) {
+  Xoshiro256 rng(9);
+  const std::size_t n = 64;
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, 1 << 12, rng);
+  sim::Network net(net::make_grid(8, 8), 11);
+  net.set_one_item_per_node(xs);
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  proto::TreeCountingService svc(net, tree);
+  core::deterministic_median(svc);
+  baseline::gk_median(net, tree, 16);
+  baseline::sampling_median(net, tree, 16);
+  core::exact_count_distinct(net, tree);
+
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    sent += net.stats(u).payload_bits_sent;
+    received += net.stats(u).payload_bits_received;
+    msgs_sent += net.stats(u).messages_sent;
+    msgs_received += net.stats(u).messages_received;
+  }
+  EXPECT_EQ(sent, received);
+  EXPECT_EQ(msgs_sent, msgs_received);
+  EXPECT_GT(msgs_sent, 0u);
+}
+
+TEST(EndToEnd, MultiItemNodesAcrossAllExactProtocols) {
+  // Section 5's model: nodes hold multisets. Load 3 items per node.
+  Xoshiro256 rng(13);
+  const std::size_t nodes = 20;
+  ValueSet all;
+  sim::Network net(net::make_line(nodes), 15);
+  for (NodeId u = 0; u < nodes; ++u) {
+    ValueSet mine(3);
+    for (auto& x : mine) x = static_cast<Value>(rng.next_below(1 << 16));
+    all.insert(all.end(), mine.begin(), mine.end());
+    net.set_items(u, mine);
+  }
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  proto::TreeCountingService svc(net, tree);
+  EXPECT_EQ(svc.count_all(), all.size());
+  EXPECT_EQ(core::deterministic_median(svc).value, reference_median(all));
+  EXPECT_EQ(baseline::tag_collect_median(net, tree).median,
+            reference_median(all));
+  ValueSet sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(core::exact_count_distinct(net, tree).distinct, sorted.size());
+}
+
+TEST(EndToEnd, CappedTreeGivesSameAnswersAsBfs) {
+  Xoshiro256 rng(17);
+  const std::size_t n = 48;
+  const ValueSet xs = generate_workload(WorkloadKind::kUniform, n, 1 << 10, rng);
+  sim::Network net(net::make_complete(n), 19);
+  net.set_one_item_per_node(xs);
+  const auto star = net::bfs_tree(net.graph(), 0);
+  const auto capped = net::capped_bfs_tree(net.graph(), 0, 3);
+  proto::TreeCountingService svc_star(net, star);
+  proto::TreeCountingService svc_capped(net, capped);
+  EXPECT_EQ(core::deterministic_median(svc_star).value,
+            core::deterministic_median(svc_capped).value);
+}
+
+TEST(EndToEnd, RootChoiceDoesNotChangeAnswers) {
+  Xoshiro256 rng(21);
+  const std::size_t n = 36;
+  const ValueSet xs = generate_workload(WorkloadKind::kZipf, n, 1 << 18, rng);
+  std::vector<Value> medians;
+  for (const NodeId root : {0u, 17u, 35u}) {
+    sim::Network net(net::make_grid(6, 6), 23);
+    net.set_one_item_per_node(xs);
+    const auto tree = net::bfs_tree(net.graph(), root);
+    proto::TreeCountingService svc(net, tree);
+    medians.push_back(core::deterministic_median(svc).value);
+  }
+  EXPECT_EQ(medians[0], medians[1]);
+  EXPECT_EQ(medians[1], medians[2]);
+}
+
+}  // namespace
+}  // namespace sensornet

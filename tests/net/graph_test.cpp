@@ -1,0 +1,64 @@
+#include "src/net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::net {
+namespace {
+
+TEST(Graph, EmptyGraphIsConnected) {
+  EXPECT_TRUE(Graph(0).connected());
+  EXPECT_TRUE(Graph(1).connected());
+}
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), PreconditionError);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), PreconditionError);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), PreconditionError);
+  EXPECT_THROW(g.degree(5), PreconditionError);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, NeighborsListed) {
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto& nb = g.neighbors(0);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], 2u);
+  EXPECT_EQ(nb[1], 3u);
+}
+
+}  // namespace
+}  // namespace sensornet::net

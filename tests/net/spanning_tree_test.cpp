@@ -1,0 +1,110 @@
+#include "src/net/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::net {
+namespace {
+
+TEST(SpanningTree, BfsOnLine) {
+  const Graph g = make_line(5);
+  const SpanningTree t = bfs_tree(g, 0);
+  EXPECT_TRUE(validate_tree(g, t));
+  EXPECT_EQ(t.height(), 4u);
+  EXPECT_EQ(t.depth[4], 4u);
+  EXPECT_EQ(t.parent[4], 3u);
+}
+
+TEST(SpanningTree, BfsFromMiddle) {
+  const Graph g = make_line(5);
+  const SpanningTree t = bfs_tree(g, 2);
+  EXPECT_TRUE(validate_tree(g, t));
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_EQ(t.children[2].size(), 2u);
+}
+
+TEST(SpanningTree, BfsOnCompleteIsStar) {
+  const Graph g = make_complete(8);
+  const SpanningTree t = bfs_tree(g, 3);
+  EXPECT_TRUE(validate_tree(g, t));
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_EQ(t.max_degree(), 7u);
+}
+
+TEST(SpanningTree, DisconnectedThrows) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_THROW(bfs_tree(g, 0), ProtocolError);
+}
+
+TEST(SpanningTree, CappedBfsBoundsDegree) {
+  const Graph g = make_complete(64);
+  const SpanningTree t = capped_bfs_tree(g, 0, 3);
+  EXPECT_TRUE(validate_tree(g, t));
+  EXPECT_LE(t.max_degree(), 4u);  // 3 children + 1 parent
+  EXPECT_GT(t.height(), 1u);      // necessarily deeper than the star
+}
+
+TEST(SpanningTree, CappedBfsTooTightThrows) {
+  // A star graph cannot be spanned with max_children == 1 from a leaf... the
+  // hub itself can only adopt 1 child, stranding the rest.
+  Graph star(5);
+  for (NodeId u = 1; u < 5; ++u) star.add_edge(0, u);
+  EXPECT_THROW(capped_bfs_tree(star, 1, 1), ProtocolError);
+}
+
+TEST(SpanningTree, CappedMatchesBfsWhenCapLoose) {
+  const Graph g = make_grid(4, 4);
+  const SpanningTree bfs = bfs_tree(g, 0);
+  const SpanningTree capped = capped_bfs_tree(g, 0, 4);
+  EXPECT_TRUE(validate_tree(g, capped));
+  EXPECT_EQ(bfs.height(), capped.height());
+}
+
+TEST(SpanningTree, ValidateCatchesCorruption) {
+  const Graph g = make_grid(3, 3);
+  SpanningTree t = bfs_tree(g, 0);
+  ASSERT_TRUE(validate_tree(g, t));
+
+  SpanningTree bad_parent = t;
+  bad_parent.parent[8] = 8;  // self-parent, not a graph edge
+  EXPECT_FALSE(validate_tree(g, bad_parent));
+
+  SpanningTree bad_depth = t;
+  bad_depth.depth[4] += 1;
+  EXPECT_FALSE(validate_tree(g, bad_depth));
+
+  SpanningTree missing_child = t;
+  missing_child.children[t.parent[8]].clear();
+  EXPECT_FALSE(validate_tree(g, missing_child));
+}
+
+class TreeOverTopologies : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(TreeOverTopologies, BfsTreeValidates) {
+  Xoshiro256 rng(9);
+  const Graph g = make_topology(GetParam(), 100, rng);
+  const SpanningTree t = bfs_tree(g, 0);
+  EXPECT_TRUE(validate_tree(g, t));
+  // BFS trees give shortest-path depths: height <= node count.
+  EXPECT_LT(t.height(), g.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, TreeOverTopologies,
+                         ::testing::Values(TopologyKind::kLine,
+                                           TopologyKind::kRing,
+                                           TopologyKind::kGrid,
+                                           TopologyKind::kComplete,
+                                           TopologyKind::kBalancedTree,
+                                           TopologyKind::kGeometric),
+                         [](const auto& info) {
+                           std::string n = topology_name(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace sensornet::net

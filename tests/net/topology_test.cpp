@@ -1,0 +1,93 @@
+#include "src/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sensornet::net {
+namespace {
+
+TEST(Topology, Line) {
+  const Graph g = make_line(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Topology, SingleNodeLine) {
+  const Graph g = make_line(1);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, Ring) {
+  const Graph g = make_ring(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 2u);
+}
+
+TEST(Topology, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_LE(g.max_degree(), 4u);
+}
+
+TEST(Topology, Complete) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Topology, BalancedTree) {
+  const Graph g = make_balanced_tree(13, 3);
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_LE(g.degree(0), 3u);
+}
+
+TEST(Topology, GeometricAlwaysConnected) {
+  Xoshiro256 rng(42);
+  for (const std::size_t n : {2UL, 10UL, 100UL, 300UL}) {
+    // Even with a hopeless radius, repair must connect the graph.
+    const GeometricLayout layout = make_random_geometric(n, 0.01, rng);
+    EXPECT_TRUE(layout.graph.connected()) << "n=" << n;
+    EXPECT_EQ(layout.x.size(), n);
+  }
+}
+
+TEST(Topology, GeometricEdgesRespectRadiusBeforeRepair) {
+  // With a generous radius no repair happens and all close pairs are linked.
+  Xoshiro256 rng(1);
+  const GeometricLayout layout = make_random_geometric(40, 2.0, rng);
+  // radius 2 covers the unit square entirely -> complete graph.
+  EXPECT_EQ(layout.graph.edge_count(), 40u * 39u / 2u);
+}
+
+class TopologyFamilyTest : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(TopologyFamilyTest, FactoryProducesConnectedGraphOfRoughSize) {
+  Xoshiro256 rng(5);
+  const Graph g = make_topology(GetParam(), 64, rng);
+  EXPECT_TRUE(g.connected());
+  EXPECT_GE(g.node_count(), 64u);
+  EXPECT_LE(g.node_count(), 81u);  // grid may round up to next square
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, TopologyFamilyTest,
+                         ::testing::Values(TopologyKind::kLine,
+                                           TopologyKind::kRing,
+                                           TopologyKind::kGrid,
+                                           TopologyKind::kComplete,
+                                           TopologyKind::kBalancedTree,
+                                           TopologyKind::kGeometric),
+                         [](const auto& info) {
+                           std::string n = topology_name(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace sensornet::net

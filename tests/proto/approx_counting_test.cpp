@@ -1,0 +1,125 @@
+#include "src/proto/approx_counting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/net/topology.hpp"
+#include "src/sketch/loglog.hpp"
+
+namespace sensornet::proto {
+namespace {
+
+sim::Network uniform_network(std::size_t n, std::uint64_t seed) {
+  sim::Network net(net::make_grid(n / 8, 8), seed);
+  Xoshiro256 rng(seed);
+  ValueSet xs(net.node_count());
+  for (auto& x : xs) x = static_cast<Value>(rng.next_below(1024));
+  net.set_one_item_per_node(xs);
+  return net;
+}
+
+TEST(ApproxCounting, EstimatesTotalCount) {
+  sim::Network net = uniform_network(256, 5);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  ApxCountConfig cfg;
+  cfg.registers = 64;
+  TreeApproxCountingService svc(net, tree, cfg);
+  const double est = rep_countp(svc, 16, Predicate::always_true());
+  // 16 repetitions: sd ~ 1.04/8/4 ~ 3%; assert within 12%.
+  EXPECT_NEAR(est / 256.0, 1.0, 0.12);
+}
+
+TEST(ApproxCounting, PredicateRestrictsEstimate) {
+  sim::Network net(net::make_line(200), 7);
+  ValueSet xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(i < 150 ? 10 : 1000);
+  net.set_one_item_per_node(xs);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  ApxCountConfig cfg;
+  cfg.registers = 64;
+  TreeApproxCountingService svc(net, tree, cfg);
+  const double est = rep_countp(svc, 16, Predicate::less_than(500));
+  EXPECT_NEAR(est / 150.0, 1.0, 0.2);
+}
+
+TEST(ApproxCounting, SigmaMatchesEstimatorChoice) {
+  sim::Network net = uniform_network(64, 3);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  ApxCountConfig ll;
+  ll.registers = 64;
+  ll.estimator = EstimatorKind::kLogLog;
+  TreeApproxCountingService svc_ll(net, tree, ll);
+  EXPECT_NEAR(svc_ll.sigma(), (1.30 + 2.6 / 64) / 8.0, 1e-9);
+  ApxCountConfig hll;
+  hll.registers = 64;
+  hll.estimator = EstimatorKind::kHyperLogLog;
+  TreeApproxCountingService svc_hll(net, tree, hll);
+  EXPECT_NEAR(svc_hll.sigma(), 1.04 / 8.0, 1e-9);
+  EXPECT_LT(svc_hll.alpha_c(), svc_hll.sigma() / 2.0);  // theorem precondition
+}
+
+TEST(ApproxCounting, RepetitionReducesSpread) {
+  sim::Network net = uniform_network(256, 11);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  ApxCountConfig cfg;
+  cfg.registers = 16;  // deliberately coarse
+  TreeApproxCountingService svc(net, tree, cfg);
+  const auto spread = [&](unsigned reps, int trials) {
+    double sq = 0;
+    for (int t = 0; t < trials; ++t) {
+      const double e = rep_countp(svc, reps, Predicate::always_true());
+      const double rel = e / 256.0 - 1.0;
+      sq += rel * rel;
+    }
+    return std::sqrt(sq / trials);
+  };
+  const double single = spread(1, 24);
+  const double averaged = spread(16, 24);
+  EXPECT_LT(averaged, single);
+}
+
+TEST(ApproxCounting, PerNodeBitsAreLogLogScale) {
+  // One invocation ships m registers of O(log log N) bits per tree edge;
+  // crucially the cost must NOT scale with log N per register.
+  for (const std::size_t n : {64UL, 1024UL}) {
+    sim::Network net(net::make_line(n), 13);
+    net.set_one_item_per_node(ValueSet(n, 3));
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    ApxCountConfig cfg;
+    cfg.registers = 16;
+    TreeApproxCountingService svc(net, tree, cfg);
+    svc.apx_count(Predicate::always_true());
+    const auto bits = net.summary().max_node_bits;
+    const unsigned w = sketch::register_width_for(n + 1);
+    // Two register arrays (rx + tx) + two requests (~33 bits each).
+    EXPECT_LE(bits, 2 * 16 * w + 96) << "n=" << n;
+  }
+}
+
+TEST(ApproxCounting, InvocationsAreIndependent) {
+  sim::Network net = uniform_network(64, 17);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  ApxCountConfig cfg;
+  cfg.registers = 16;
+  TreeApproxCountingService svc(net, tree, cfg);
+  const double a = svc.apx_count(Predicate::always_true());
+  const double b = svc.apx_count(Predicate::always_true());
+  // Random mode with fresh node randomness: estimates differ (w.h.p.).
+  EXPECT_NE(a, b);
+}
+
+TEST(ApproxCounting, RejectsBadRegisterCounts) {
+  sim::Network net = uniform_network(64, 19);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  ApxCountConfig cfg;
+  cfg.registers = 48;  // not a power of two
+  EXPECT_THROW(TreeApproxCountingService(net, tree, cfg), PreconditionError);
+  cfg.registers = 8;  // below the supported minimum
+  EXPECT_THROW(TreeApproxCountingService(net, tree, cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sensornet::proto

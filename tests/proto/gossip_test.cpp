@@ -1,0 +1,80 @@
+#include "src/proto/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::proto {
+namespace {
+
+TEST(Gossip, ConvergesToCountOnCompleteGraph) {
+  const std::size_t n = 128;
+  sim::Network net(net::make_complete(n), 3);
+  const auto res = gossip_count(net, 0, 40);
+  EXPECT_NEAR(res.root_estimate, static_cast<double>(n), 3.0);
+  EXPECT_LT(res.disagreement, 0.05);  // everyone agrees once mixed
+}
+
+TEST(Gossip, ConvergesOnGeometricGraph) {
+  // Geometric graphs mix much slower than complete graphs (rounds scale
+  // with 1/radius^2); 250 rounds at radius 0.25 suffices for ~10% accuracy.
+  Xoshiro256 rng(7);
+  const auto layout = net::make_random_geometric(100, 0.25, rng);
+  sim::Network net(layout.graph, 5);
+  const auto res = gossip_count(net, 0, 250);
+  EXPECT_NEAR(res.root_estimate, 100.0, 12.0);
+}
+
+TEST(Gossip, MoreRoundsTightenDisagreement) {
+  sim::Network a(net::make_complete(64), 9);
+  const auto early = gossip_count(a, 0, 8);
+  sim::Network b(net::make_complete(64), 9);
+  const auto late = gossip_count(b, 0, 48);
+  EXPECT_LT(late.disagreement, early.disagreement);
+}
+
+TEST(Gossip, SlowMixingOnLineIsVisible) {
+  // Push-sum's convergence is governed by mixing time: a line of the same
+  // size is far from converged after the rounds that finish a complete
+  // graph — the "diffusion speed" caveat the paper quotes from [6].
+  const unsigned rounds = 40;
+  sim::Network fast(net::make_complete(64), 11);
+  const auto good = gossip_count(fast, 0, rounds);
+  sim::Network slow(net::make_line(64), 11);
+  const auto bad = gossip_count(slow, 0, rounds);
+  EXPECT_LT(good.disagreement, 0.05);
+  EXPECT_GT(bad.disagreement, 0.5);
+}
+
+TEST(Gossip, PerRoundCostIsConstantBits) {
+  const std::size_t n = 64;
+  sim::Network net(net::make_complete(n), 13);
+  gossip_count(net, 0, 10);
+  // Each node transmits exactly 64 bits per round; receptions vary by luck
+  // of neighbor choice but transmissions are deterministic.
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(net.stats(u).payload_bits_sent, 10u * 64u) << "node " << u;
+  }
+}
+
+TEST(Gossip, MassConservationExact) {
+  // value/weight mass moves but never leaks (the fixed-point remainder
+  // bookkeeping): after any number of rounds the estimates stay finite and
+  // the root's estimate is sane even at tiny round counts.
+  sim::Network net(net::make_complete(32), 17);
+  const auto res = gossip_count(net, 0, 2);
+  EXPECT_GT(res.root_estimate, 0.0);
+  EXPECT_LT(res.root_estimate, 2.0 * 32.0 + 1.0);
+}
+
+TEST(Gossip, Validation) {
+  sim::Network net(net::make_complete(4), 1);
+  EXPECT_THROW(gossip_count(net, 9, 10), PreconditionError);
+  EXPECT_THROW(gossip_count(net, 0, 0), PreconditionError);
+  sim::Network big(net::make_line(2001), 1);
+  EXPECT_THROW(gossip_count(big, 0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sensornet::proto

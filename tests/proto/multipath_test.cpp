@@ -1,0 +1,116 @@
+#include "src/proto/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/workload.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/tree_wave.hpp"
+#include "src/sketch/loglog.hpp"
+
+namespace sensornet::proto {
+namespace {
+
+LogLogAgg::Request hashed_request(unsigned m = 64) {
+  LogLogAgg::Request req;
+  req.registers = static_cast<std::uint16_t>(m);
+  req.width = 6;
+  req.mode = LogLogAgg::Mode::kHashed;
+  req.salt = 5;
+  return req;
+}
+
+TEST(Multipath, MatchesTreeWaveWithoutLoss) {
+  // Lossless multipath must produce the exact same merged registers as a
+  // tree wave — ODI state is path-independent.
+  Xoshiro256 rng(3);
+  sim::Network net(net::make_grid(6, 6), 7);
+  net.set_one_item_per_node(
+      generate_workload(WorkloadKind::kUniform, 36, 1 << 16, rng));
+  const auto req = hashed_request();
+
+  const auto multipath = multipath_loglog_sweep(net, 0, req);
+  EXPECT_EQ(multipath.covered_nodes, 36u);
+
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  TreeWave<LogLogAgg> wave(tree, 1);
+  const auto via_tree = wave.execute(net, req);
+  EXPECT_EQ(multipath.registers, via_tree);
+}
+
+TEST(Multipath, RandomModeEstimatesCount) {
+  sim::Network net(net::make_grid(10, 10), 11);
+  net.set_one_item_per_node(ValueSet(100, 7));
+  LogLogAgg::Request req;
+  req.registers = 256;
+  req.width = 6;
+  req.mode = LogLogAgg::Mode::kRandom;
+  const auto res = multipath_loglog_sweep(net, 0, req);
+  EXPECT_NEAR(sketch::hyperloglog_estimate(res.registers), 100.0, 30.0);
+}
+
+TEST(Multipath, SurvivesHeavyLossOnDenseGraphs) {
+  // 30% message loss on a grid: redundancy keeps most contributions alive.
+  sim::Network net(net::make_grid(8, 8), 13);
+  Xoshiro256 rng(5);
+  net.set_one_item_per_node(
+      generate_workload(WorkloadKind::kUniform, 64, 1 << 12, rng));
+  net.set_message_loss(0.3);
+  const auto res = multipath_loglog_sweep(net, 0, hashed_request());
+  EXPECT_GE(res.covered_nodes, 40u);  // far better than a lost subtree
+}
+
+TEST(Multipath, TreeWaveStallsUnderLossButMultipathAnswers) {
+  // The contrast the paper's robustness discussion ([2]) is about: with
+  // lossy links a tree wave cannot complete (our driver detects the stall
+  // and throws); the ODI sweep still returns an estimate.
+  sim::Network net(net::make_grid(8, 8), 17);
+  net.set_one_item_per_node(ValueSet(64, 3));
+  net.set_message_loss(0.25);
+
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  TreeWave<LogLogAgg> wave(tree, 1);
+  EXPECT_THROW(wave.execute(net, hashed_request()), ProtocolError);
+
+  const auto res = multipath_loglog_sweep(net, 0, hashed_request());
+  EXPECT_GE(res.covered_nodes, 32u);
+}
+
+TEST(Multipath, LineHasNoRedundancy) {
+  // On a line each contribution has exactly one path: multipath degrades to
+  // tree behaviour and loss truncates coverage at the first dropped hop.
+  sim::Network net(net::make_line(32), 19);
+  net.set_one_item_per_node(ValueSet(32, 3));
+  const auto lossless = multipath_loglog_sweep(net, 0, hashed_request());
+  EXPECT_EQ(lossless.covered_nodes, 32u);
+  net.set_message_loss(0.5);
+  const auto lossy = multipath_loglog_sweep(net, 0, hashed_request());
+  EXPECT_LT(lossy.covered_nodes, 32u);
+}
+
+TEST(Multipath, CostScalesWithDownhillDegree) {
+  // Redundancy is paid in bits: multipath on a grid costs more per node
+  // than one tree wave of the same registers.
+  sim::Network net(net::make_grid(8, 8), 23);
+  net.set_one_item_per_node(ValueSet(64, 3));
+  multipath_loglog_sweep(net, 0, hashed_request());
+  const auto multipath_bits = net.summary().max_node_bits;
+  net.reset_accounting();
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  TreeWave<LogLogAgg> wave(tree, 1);
+  wave.execute(net, hashed_request());
+  const auto tree_bits = net.summary().max_node_bits;
+  EXPECT_GT(multipath_bits, tree_bits);
+}
+
+TEST(Multipath, DisconnectedGraphThrows) {
+  net::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  sim::Network net(g, 1);
+  EXPECT_THROW(multipath_loglog_sweep(net, 0, hashed_request()),
+               ProtocolError);
+}
+
+}  // namespace
+}  // namespace sensornet::proto

@@ -1,0 +1,85 @@
+#include "src/proto/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/codec.hpp"
+
+namespace sensornet::proto {
+namespace {
+
+TEST(Predicate, AlwaysTrue) {
+  const Predicate p = Predicate::always_true();
+  EXPECT_TRUE(p.matches(0));
+  EXPECT_TRUE(p.matches(1 << 30));
+}
+
+TEST(Predicate, LessThanInteger) {
+  const Predicate p = Predicate::less_than(10);
+  EXPECT_TRUE(p.matches(9));
+  EXPECT_FALSE(p.matches(10));
+  EXPECT_FALSE(p.matches(11));
+}
+
+TEST(Predicate, LessThanHalfUnits) {
+  // x < 10.5 : threshold2 = 21.
+  const Predicate p = Predicate::less_than_half_units(21);
+  EXPECT_TRUE(p.matches(10));
+  EXPECT_FALSE(p.matches(11));
+}
+
+TEST(Predicate, GreaterEqual) {
+  const Predicate p = Predicate::greater_equal(5);
+  EXPECT_FALSE(p.matches(4));
+  EXPECT_TRUE(p.matches(5));
+}
+
+TEST(Predicate, WireRoundTrip) {
+  for (const Predicate p :
+       {Predicate::always_true(), Predicate::less_than(0),
+        Predicate::less_than(123456), Predicate::less_than_half_units(7),
+        Predicate::greater_equal(99)}) {
+    BitWriter w;
+    p.encode(w);
+    BitReader r(w.bytes().data(), w.bit_count());
+    EXPECT_EQ(Predicate::decode(r), p);
+  }
+}
+
+TEST(Predicate, TrueIsTwoBits) {
+  BitWriter w;
+  Predicate::always_true().encode(w);
+  EXPECT_EQ(w.bit_count(), 2u);
+}
+
+TEST(Predicate, WireCostIsLogThreshold) {
+  // Section 3.1's requirement: the predicate must fit in O(log X) bits.
+  BitWriter w;
+  Predicate::less_than(1 << 20).encode(w);
+  EXPECT_LE(w.bit_count(), 2u + 21u + 12u);
+}
+
+TEST(Predicate, ToStringReadable) {
+  EXPECT_EQ(Predicate::always_true().to_string(), "TRUE");
+  EXPECT_EQ(Predicate::less_than(10).to_string(), "x < 10");
+  EXPECT_EQ(Predicate::less_than_half_units(21).to_string(), "x < 10.5");
+}
+
+TEST(Predicate, HalfUnitSemanticsMatchRankFunction) {
+  // l(y) with y = t/2 counted via the predicate must match direct counting.
+  const ValueSet xs{1, 3, 3, 7, 9};
+  for (std::int64_t t2 = 0; t2 <= 20; ++t2) {
+    const Predicate p = Predicate::less_than_half_units(t2);
+    int c = 0;
+    for (const Value x : xs) {
+      if (p.matches(x)) ++c;
+    }
+    int expected = 0;
+    for (const Value x : xs) {
+      if (2 * x < t2) ++expected;
+    }
+    EXPECT_EQ(c, expected) << "t2=" << t2;
+  }
+}
+
+}  // namespace
+}  // namespace sensornet::proto

@@ -1,0 +1,116 @@
+// Fact 2.1 primitives via the service interface + tree broadcast.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/codec.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/counting_service.hpp"
+#include "src/proto/tree_broadcast.hpp"
+
+namespace sensornet::proto {
+namespace {
+
+TEST(TreeCountingService, MinMaxCount) {
+  sim::Network net(net::make_grid(3, 3), 1);
+  net.set_one_item_per_node({5, 2, 9, 2, 7, 1, 8, 3, 6});
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 4);
+  TreeCountingService svc(net, tree);
+  EXPECT_EQ(svc.count_all(), 9u);
+  EXPECT_EQ(*svc.min_value(), 1);
+  EXPECT_EQ(*svc.max_value(), 9);
+  EXPECT_EQ(svc.count(Predicate::less_than(5)), 4u);
+  EXPECT_EQ(svc.waves(), 4u);
+}
+
+TEST(TreeCountingService, EmptyNetworkMinIsNullopt) {
+  sim::Network net(net::make_line(4), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  TreeCountingService svc(net, tree);
+  EXPECT_EQ(svc.count_all(), 0u);
+  EXPECT_FALSE(svc.min_value().has_value());
+  EXPECT_FALSE(svc.max_value().has_value());
+}
+
+TEST(TreeCountingService, CustomViewFilters) {
+  class EvenOnly final : public LocalItemView {
+   public:
+    ValueSet items(sim::Network& net, NodeId node) const override {
+      ValueSet out;
+      for (const Value x : net.items(node)) {
+        if (x % 2 == 0) out.push_back(x);
+      }
+      return out;
+    }
+  } view;
+  sim::Network net(net::make_line(4), 1);
+  net.set_one_item_per_node({1, 2, 3, 4});
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  TreeCountingService svc(net, tree, view);
+  EXPECT_EQ(svc.count_all(), 2u);
+  EXPECT_EQ(*svc.min_value(), 2);
+}
+
+TEST(TreeCountingService, IndividualBitsLogarithmic) {
+  // Fact 2.1: COUNT costs O(log N) bits per node on a bounded-degree tree.
+  for (const std::size_t n : {16UL, 64UL, 256UL, 1024UL}) {
+    sim::Network net(net::make_line(n), 1);
+    ValueSet xs(n, 1);
+    net.set_one_item_per_node(xs);
+    const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+    TreeCountingService svc(net, tree);
+    svc.count_all();
+    const auto bits = net.summary().max_node_bits;
+    // Elias-delta count of n (~log n + 2 loglog n) twice (in + out) plus the
+    // 2-bit requests; 8x log2(n) is a comfortable envelope, constants small.
+    EXPECT_LE(bits, 8 * ceil_log2(n) + 32) << "n=" << n;
+  }
+}
+
+TEST(TreeBroadcast, EveryNodeAppliesPayloadOnce) {
+  sim::Network net(net::make_grid(4, 4), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  std::vector<int> applied(16, 0);
+  std::vector<std::uint64_t> got(16, 0);
+  TreeBroadcast bc(tree, 9,
+                   [&](sim::Network&, NodeId node, BitReader r) {
+                     ++applied[node];
+                     got[node] = decode_uint(r);
+                   });
+  BitWriter w;
+  encode_uint(w, 777);
+  bc.execute(net, std::move(w));
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_EQ(applied[u], 1) << "node " << u;
+    EXPECT_EQ(got[u], 777u);
+  }
+}
+
+TEST(TreeBroadcast, RootPaysNothingToLearnItsOwnValue) {
+  sim::Network net(net::make_line(4), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  TreeBroadcast bc(tree, 9, [](sim::Network&, NodeId, BitReader) {});
+  BitWriter w;
+  encode_uint(w, 5);
+  bc.execute(net, std::move(w));
+  EXPECT_EQ(net.stats(0).payload_bits_received, 0u);
+  EXPECT_GT(net.stats(1).payload_bits_received, 0u);
+}
+
+TEST(TreeBroadcast, CostPerNodeIsPayloadTimesDegree) {
+  sim::Network net(net::make_line(8), 1);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  TreeBroadcast bc(tree, 9, [](sim::Network&, NodeId, BitReader) {});
+  BitWriter w;
+  w.write_bits(0x3FF, 10);
+  bc.execute(net, std::move(w));
+  // Interior node: receives 10 bits, forwards 10 bits.
+  EXPECT_EQ(net.stats(3).payload_bits_received, 10u);
+  EXPECT_EQ(net.stats(3).payload_bits_sent, 10u);
+  // Leaf: receive only.
+  EXPECT_EQ(net.stats(7).payload_bits_sent, 0u);
+}
+
+}  // namespace
+}  // namespace sensornet::proto

@@ -1,0 +1,77 @@
+#include "src/proto/singlehop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::proto {
+namespace {
+
+sim::Network single_hop_net(const ValueSet& items, std::uint64_t seed = 1) {
+  sim::Network net(net::make_complete(items.size()), seed);
+  net.set_one_item_per_node(items);
+  return net;
+}
+
+TEST(SingleHop, CountMatchesGroundTruth) {
+  sim::Network net = single_hop_net({1, 5, 9, 13, 17});
+  SingleHopCountingService svc(net, 0, 100);
+  EXPECT_EQ(svc.count_all(), 5u);
+  EXPECT_EQ(svc.count(Predicate::less_than(9)), 2u);
+  EXPECT_EQ(svc.count(Predicate::less_than(100)), 5u);
+}
+
+TEST(SingleHop, RootItemCountedWithoutRadio) {
+  sim::Network net = single_hop_net({7});
+  SingleHopCountingService svc(net, 0, 10);
+  EXPECT_EQ(svc.count_all(), 1u);
+  EXPECT_EQ(net.summary().total_messages, 0u);
+}
+
+TEST(SingleHop, MinMax) {
+  sim::Network net = single_hop_net({12, 4, 33, 8});
+  SingleHopCountingService svc(net, 0, 64);
+  EXPECT_EQ(*svc.min_value(), 4);
+  EXPECT_EQ(*svc.max_value(), 33);
+}
+
+TEST(SingleHop, EmptyItems) {
+  sim::Network net(net::make_complete(4), 1);
+  SingleHopCountingService svc(net, 0, 64);
+  EXPECT_EQ(svc.count_all(), 0u);
+  EXPECT_FALSE(svc.min_value().has_value());
+  EXPECT_FALSE(svc.max_value().has_value());
+}
+
+TEST(SingleHop, TransmitProfileOneBitPerProbe) {
+  // Every non-root node transmits exactly one presence bit per COUNTP.
+  sim::Network net = single_hop_net({3, 6, 9, 12, 15, 18, 21, 24});
+  SingleHopCountingService svc(net, 0, 100);
+  const unsigned probes = 5;
+  for (unsigned i = 0; i < probes; ++i) {
+    svc.count(Predicate::less_than(10 + static_cast<Value>(i)));
+  }
+  for (NodeId u = 1; u < net.node_count(); ++u) {
+    EXPECT_EQ(net.stats(u).payload_bits_sent, probes) << "node " << u;
+  }
+  // ...while receiving Theta(N) bits per probe (everyone overhears).
+  EXPECT_GE(net.stats(1).payload_bits_received,
+            static_cast<std::uint64_t>(probes) * (net.node_count() - 2));
+}
+
+TEST(SingleHop, RejectsMultiItemNodes) {
+  sim::Network net(net::make_complete(3), 1);
+  net.set_items(1, {1, 2});
+  EXPECT_THROW(SingleHopCountingService(net, 0, 10), PreconditionError);
+}
+
+TEST(SingleHop, RequiresCompleteGraph) {
+  sim::Network net(net::make_line(4), 1);
+  net.set_one_item_per_node({1, 2, 3, 4});
+  SingleHopCountingService svc(net, 0, 10);
+  EXPECT_THROW(svc.count_all(), ProtocolError);
+}
+
+}  // namespace
+}  // namespace sensornet::proto

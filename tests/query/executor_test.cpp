@@ -1,0 +1,175 @@
+#include "src/query/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/mathutil.hpp"
+#include "src/net/topology.hpp"
+
+namespace sensornet::query {
+namespace {
+
+struct Fixture {
+  sim::Network net;
+  net::SpanningTree tree;
+  Executor exec;
+
+  explicit Fixture(const ValueSet& xs, Value max_value = 1 << 16)
+      : net(net::make_grid(4, (xs.size() + 3) / 4), 1),
+        tree(net::bfs_tree(net.graph(), 0)),
+        exec(Deployment{net, tree, max_value}) {
+    for (NodeId u = 0; u < net.node_count(); ++u) {
+      if (u < xs.size()) net.set_items(u, {xs[u]});
+    }
+  }
+};
+
+TEST(Executor, CountAndSum) {
+  Fixture f({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(f.exec.run("SELECT COUNT(v) FROM sensors").value, 8.0);
+  EXPECT_DOUBLE_EQ(f.exec.run("SELECT SUM(v) FROM sensors").value, 36.0);
+  EXPECT_DOUBLE_EQ(f.exec.run("SELECT AVG(v) FROM sensors").value, 4.5);
+}
+
+TEST(Executor, MinMax) {
+  Fixture f({15, 3, 99, 27});
+  EXPECT_DOUBLE_EQ(f.exec.run("SELECT MIN(v) FROM sensors").value, 3.0);
+  EXPECT_DOUBLE_EQ(f.exec.run("SELECT MAX(v) FROM sensors").value, 99.0);
+}
+
+TEST(Executor, MedianExact) {
+  const ValueSet xs{10, 20, 30, 40, 50, 60, 70};
+  Fixture f(xs);
+  const auto res = f.exec.run("SELECT MEDIAN(v) FROM sensors");
+  EXPECT_DOUBLE_EQ(res.value, static_cast<double>(reference_median(xs)));
+  EXPECT_TRUE(res.is_exact);
+}
+
+TEST(Executor, QuantileExact) {
+  ValueSet xs(20);
+  for (std::size_t i = 0; i < 20; ++i) xs[i] = static_cast<Value>(i * 5);
+  Fixture f(xs);
+  const auto res = f.exec.run("SELECT QUANTILE(v, 0.25) FROM sensors");
+  // k = 5 -> 5th smallest = 20.
+  EXPECT_DOUBLE_EQ(res.value, 20.0);
+}
+
+TEST(Executor, WhereFilterApplies) {
+  Fixture f({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(
+      f.exec.run("SELECT COUNT(v) FROM sensors WHERE v < 5").value, 4.0);
+  EXPECT_DOUBLE_EQ(
+      f.exec.run("SELECT COUNT(v) FROM sensors WHERE v >= 5").value, 4.0);
+  EXPECT_DOUBLE_EQ(
+      f.exec.run("SELECT COUNT(v) FROM sensors WHERE v <= 5").value, 5.0);
+  EXPECT_DOUBLE_EQ(
+      f.exec.run("SELECT MIN(v) FROM sensors WHERE v > 3").value, 4.0);
+}
+
+TEST(Executor, FilterClearedBetweenQueries) {
+  Fixture f({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(
+      f.exec.run("SELECT COUNT(v) FROM sensors WHERE v < 3").value, 2.0);
+  EXPECT_DOUBLE_EQ(f.exec.run("SELECT COUNT(v) FROM sensors").value, 8.0);
+}
+
+TEST(Executor, MedianWithWhere) {
+  const ValueSet xs{1, 2, 3, 4, 100, 200, 300, 400};
+  Fixture f(xs);
+  const auto res =
+      f.exec.run("SELECT MEDIAN(v) FROM sensors WHERE v >= 100");
+  EXPECT_DOUBLE_EQ(res.value, 200.0);
+}
+
+TEST(Executor, CountDistinctExactAndApprox) {
+  ValueSet xs(16);
+  for (std::size_t i = 0; i < 16; ++i) xs[i] = static_cast<Value>(i % 4);
+  Fixture f(xs);
+  const auto exact = f.exec.run("SELECT COUNT_DISTINCT(v) FROM sensors");
+  EXPECT_DOUBLE_EQ(exact.value, 4.0);
+  EXPECT_TRUE(exact.is_exact);
+  const auto approx =
+      f.exec.run("SELECT COUNT_DISTINCT(v) FROM sensors ERROR 0.2");
+  EXPECT_FALSE(approx.is_exact);
+  EXPECT_NEAR(approx.value, 4.0, 3.0);
+}
+
+TEST(Executor, ApproxCount) {
+  ValueSet xs(64, 7);
+  Fixture f(xs);
+  const auto res = f.exec.run("SELECT COUNT(v) FROM sensors ERROR 0.1");
+  EXPECT_FALSE(res.is_exact);
+  EXPECT_NEAR(res.value, 64.0, 24.0);
+}
+
+TEST(Executor, ApproxSumAndAvg) {
+  ValueSet xs(64, 100);  // sum = 6400, avg = 100
+  Fixture f(xs, /*max_value=*/128);
+  const auto sum = f.exec.run("SELECT SUM(v) FROM sensors ERROR 0.05");
+  EXPECT_FALSE(sum.is_exact);
+  EXPECT_NEAR(sum.value, 6400.0, 1600.0);
+  const auto avg = f.exec.run("SELECT AVG(v) FROM sensors ERROR 0.05");
+  EXPECT_FALSE(avg.is_exact);
+  EXPECT_NEAR(avg.value, 100.0, 40.0);
+}
+
+TEST(Executor, ApproxSumRespectsWhere) {
+  ValueSet xs;
+  for (int i = 0; i < 32; ++i) xs.push_back(10);
+  for (int i = 0; i < 32; ++i) xs.push_back(1000);
+  Fixture f(xs, /*max_value=*/1024);
+  const auto res =
+      f.exec.run("SELECT SUM(v) FROM sensors WHERE v < 100 ERROR 0.05");
+  // Only the 32 tens: truth 320 (vs 32320 unfiltered).
+  EXPECT_NEAR(res.value, 320.0, 120.0);
+}
+
+TEST(Executor, ApproxMedianRunsAndIsClose) {
+  ValueSet xs(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    xs[i] = static_cast<Value>(i * 1000);
+  }
+  Fixture f(xs, /*max_value=*/65536);
+  const auto res = f.exec.run(
+      "SELECT MEDIAN(v) FROM sensors ERROR 0.05 CONFIDENCE 0.75");
+  EXPECT_FALSE(res.is_exact);
+  // beta = 0.05 on X = 65536 plus rank noise: generous envelope.
+  EXPECT_NEAR(res.value, 31500.0, 16000.0);
+}
+
+TEST(Executor, AccountingWindowIsPerQuery) {
+  Fixture f({1, 2, 3, 4});
+  const auto a = f.exec.run("SELECT COUNT(v) FROM sensors");
+  const auto b = f.exec.run("SELECT COUNT(v) FROM sensors");
+  EXPECT_GT(a.max_node_bits, 0u);
+  // Same query, same cost window (not cumulative).
+  EXPECT_EQ(a.max_node_bits, b.max_node_bits);
+  EXPECT_GT(a.messages, 0u);
+}
+
+TEST(Executor, EmptySelectionThrows) {
+  Fixture f({1, 2, 3, 4});
+  EXPECT_THROW(f.exec.run("SELECT MIN(v) FROM sensors WHERE v > 100"),
+               PreconditionError);
+  EXPECT_THROW(f.exec.run("SELECT MEDIAN(v) FROM sensors WHERE v > 100"),
+               PreconditionError);
+}
+
+TEST(Executor, PlanLineSurfaced) {
+  Fixture f({1, 2, 3, 4});
+  EXPECT_NE(f.exec.run("SELECT MEDIAN(v) FROM sensors").plan.find("fig1"),
+            std::string::npos);
+}
+
+TEST(Executor, ConditionMatchesHelper) {
+  Condition c;
+  c.cmp = Condition::Cmp::kLe;
+  c.literal = 5;
+  EXPECT_TRUE(condition_matches(c, 5));
+  EXPECT_FALSE(condition_matches(c, 6));
+}
+
+}  // namespace
+}  // namespace sensornet::query

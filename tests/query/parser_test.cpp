@@ -1,0 +1,90 @@
+#include "src/query/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/query/lexer.hpp"
+
+namespace sensornet::query {
+namespace {
+
+TEST(Parser, MinimalQuery) {
+  const Query q = parse_query("SELECT COUNT(temp) FROM sensors");
+  EXPECT_EQ(q.agg, AggKind::kCount);
+  EXPECT_EQ(q.attribute, "temp");
+  EXPECT_FALSE(q.where.has_value());
+  EXPECT_FALSE(q.error.has_value());
+}
+
+TEST(Parser, CaseInsensitiveKeywords) {
+  const Query q = parse_query("select median(x) from s;");
+  EXPECT_EQ(q.agg, AggKind::kMedian);
+}
+
+TEST(Parser, AllAggregates) {
+  EXPECT_EQ(parse_query("SELECT MIN(v) FROM s").agg, AggKind::kMin);
+  EXPECT_EQ(parse_query("SELECT MAX(v) FROM s").agg, AggKind::kMax);
+  EXPECT_EQ(parse_query("SELECT SUM(v) FROM s").agg, AggKind::kSum);
+  EXPECT_EQ(parse_query("SELECT AVG(v) FROM s").agg, AggKind::kAvg);
+  EXPECT_EQ(parse_query("SELECT COUNT_DISTINCT(v) FROM s").agg,
+            AggKind::kCountDistinct);
+}
+
+TEST(Parser, QuantileFraction) {
+  const Query q = parse_query("SELECT QUANTILE(v, 0.9) FROM s");
+  EXPECT_EQ(q.agg, AggKind::kQuantile);
+  EXPECT_DOUBLE_EQ(q.quantile_phi, 0.9);
+}
+
+TEST(Parser, QuantileRejectsBadFraction) {
+  EXPECT_THROW(parse_query("SELECT QUANTILE(v, 1.5) FROM s"), QueryError);
+  EXPECT_THROW(parse_query("SELECT QUANTILE(v) FROM s"), QueryError);
+}
+
+TEST(Parser, WhereClauses) {
+  const Query lt = parse_query("SELECT COUNT(v) FROM s WHERE v < 10");
+  ASSERT_TRUE(lt.where.has_value());
+  EXPECT_EQ(lt.where->cmp, Condition::Cmp::kLt);
+  EXPECT_EQ(lt.where->literal, 10);
+  EXPECT_EQ(parse_query("SELECT COUNT(v) FROM s WHERE v >= 3").where->cmp,
+            Condition::Cmp::kGe);
+  EXPECT_EQ(parse_query("SELECT COUNT(v) FROM s WHERE v <= 3").where->cmp,
+            Condition::Cmp::kLe);
+  EXPECT_EQ(parse_query("SELECT COUNT(v) FROM s WHERE v > 3").where->cmp,
+            Condition::Cmp::kGt);
+}
+
+TEST(Parser, ErrorAndConfidence) {
+  const Query q = parse_query(
+      "SELECT MEDIAN(v) FROM s ERROR 0.01 CONFIDENCE 0.9");
+  ASSERT_TRUE(q.error.has_value());
+  EXPECT_DOUBLE_EQ(*q.error, 0.01);
+  EXPECT_DOUBLE_EQ(q.confidence, 0.9);
+}
+
+TEST(Parser, ErrorBoundsValidated) {
+  EXPECT_THROW(parse_query("SELECT MEDIAN(v) FROM s ERROR 0"), QueryError);
+  EXPECT_THROW(parse_query("SELECT MEDIAN(v) FROM s ERROR 1.0"), QueryError);
+  EXPECT_THROW(parse_query("SELECT MEDIAN(v) FROM s CONFIDENCE 2"),
+               QueryError);
+}
+
+TEST(Parser, MalformedQueriesThrow) {
+  EXPECT_THROW(parse_query(""), QueryError);
+  EXPECT_THROW(parse_query("MEDIAN(v) FROM s"), QueryError);
+  EXPECT_THROW(parse_query("SELECT BOGUS(v) FROM s"), QueryError);
+  EXPECT_THROW(parse_query("SELECT MEDIAN v FROM s"), QueryError);
+  EXPECT_THROW(parse_query("SELECT MEDIAN(v FROM s"), QueryError);
+  EXPECT_THROW(parse_query("SELECT MEDIAN(v) s"), QueryError);
+  EXPECT_THROW(parse_query("SELECT MEDIAN(v) FROM s WHERE v"), QueryError);
+  EXPECT_THROW(parse_query("SELECT MEDIAN(v) FROM s trailing"), QueryError);
+  EXPECT_THROW(parse_query("SELECT MEDIAN(v) FROM s WHERE v < 1.5"),
+               QueryError);
+}
+
+TEST(Parser, KeepsOriginalText) {
+  const std::string text = "SELECT MIN(v) FROM s";
+  EXPECT_EQ(parse_query(text).text, text);
+}
+
+}  // namespace
+}  // namespace sensornet::query

@@ -1,0 +1,75 @@
+#include "src/query/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/query/parser.hpp"
+
+namespace sensornet::query {
+namespace {
+
+TEST(Planner, ExactStrategiesWithoutError) {
+  EXPECT_EQ(plan_query(parse_query("SELECT MIN(v) FROM s")).strategy,
+            Strategy::kPrimitiveWave);
+  EXPECT_EQ(plan_query(parse_query("SELECT COUNT(v) FROM s")).strategy,
+            Strategy::kPrimitiveWave);
+  EXPECT_EQ(plan_query(parse_query("SELECT MEDIAN(v) FROM s")).strategy,
+            Strategy::kExactSelection);
+  EXPECT_EQ(
+      plan_query(parse_query("SELECT COUNT_DISTINCT(v) FROM s")).strategy,
+      Strategy::kExactDistinct);
+}
+
+TEST(Planner, SumAndAvgUseOdiSketchWithError) {
+  EXPECT_EQ(plan_query(parse_query("SELECT SUM(v) FROM s ERROR 0.1")).strategy,
+            Strategy::kApproxSum);
+  EXPECT_EQ(plan_query(parse_query("SELECT AVG(v) FROM s ERROR 0.1")).strategy,
+            Strategy::kApproxSum);
+  EXPECT_EQ(plan_query(parse_query("SELECT SUM(v) FROM s")).strategy,
+            Strategy::kPrimitiveWave);
+}
+
+TEST(Planner, ErrorOptsIntoApproximation) {
+  EXPECT_EQ(
+      plan_query(parse_query("SELECT COUNT(v) FROM s ERROR 0.1")).strategy,
+      Strategy::kApproxCount);
+  EXPECT_EQ(
+      plan_query(parse_query("SELECT MEDIAN(v) FROM s ERROR 0.01")).strategy,
+      Strategy::kApproxSelection);
+  EXPECT_EQ(plan_query(parse_query("SELECT COUNT_DISTINCT(v) FROM s ERROR 0.1"))
+                .strategy,
+            Strategy::kApproxDistinct);
+}
+
+TEST(Planner, RegistersSizedFromError) {
+  const Plan loose =
+      plan_query(parse_query("SELECT COUNT(v) FROM s ERROR 0.3"));
+  const Plan tight =
+      plan_query(parse_query("SELECT COUNT(v) FROM s ERROR 0.03"));
+  EXPECT_LT(loose.registers, tight.registers);
+  // sigma(m) = 1.04/sqrt(m) must meet the requested error (or hit the cap).
+  EXPECT_LE(1.04 / std::sqrt(static_cast<double>(tight.registers)), 0.031);
+  EXPECT_LE(tight.registers, 4096u);
+}
+
+TEST(Planner, BetaFollowsError) {
+  const Plan p =
+      plan_query(parse_query("SELECT MEDIAN(v) FROM s ERROR 0.005"));
+  EXPECT_DOUBLE_EQ(p.beta, 0.005);
+}
+
+TEST(Planner, EpsilonFromConfidence) {
+  const Plan p = plan_query(
+      parse_query("SELECT MEDIAN(v) FROM s ERROR 0.01 CONFIDENCE 0.8"));
+  EXPECT_NEAR(p.epsilon, 0.2, 1e-9);
+}
+
+TEST(Planner, DescriptionMentionsStrategy) {
+  const Plan p = plan_query(parse_query("SELECT MEDIAN(v) FROM s"));
+  EXPECT_NE(p.description.find("MEDIAN"), std::string::npos);
+  EXPECT_NE(p.description.find("fig1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sensornet::query

@@ -1,0 +1,74 @@
+#include "src/sim/comm_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sensornet::sim {
+namespace {
+
+NodeCommStats stats(std::uint64_t sent, std::uint64_t received,
+                    std::uint64_t hdr_sent = 0, std::uint64_t hdr_recv = 0) {
+  NodeCommStats s;
+  s.payload_bits_sent = sent;
+  s.payload_bits_received = received;
+  s.header_bits_sent = hdr_sent;
+  s.header_bits_received = hdr_recv;
+  s.messages_sent = sent > 0 ? 1 : 0;
+  s.messages_received = received > 0 ? 1 : 0;
+  return s;
+}
+
+TEST(CommStats, BitsWithAndWithoutHeaders) {
+  const NodeCommStats s = stats(10, 20, 3, 4);
+  EXPECT_EQ(s.bits(false), 30u);
+  EXPECT_EQ(s.bits(true), 37u);
+}
+
+TEST(CommStats, Accumulate) {
+  NodeCommStats a = stats(1, 2);
+  a += stats(10, 20);
+  EXPECT_EQ(a.payload_bits_sent, 11u);
+  EXPECT_EQ(a.payload_bits_received, 22u);
+  EXPECT_EQ(a.messages_sent, 2u);
+}
+
+TEST(CommStats, SummaryFindsMaxNode) {
+  const std::vector<NodeCommStats> per_node{stats(5, 5), stats(100, 1),
+                                            stats(0, 50)};
+  const CommSummary s = summarize(per_node, /*rounds=*/7, false);
+  EXPECT_EQ(s.max_node_bits, 101u);
+  EXPECT_EQ(s.max_node, 1u);
+  EXPECT_EQ(s.total_bits, 105u);  // sum of sent
+  EXPECT_EQ(s.rounds, 7u);
+}
+
+TEST(CommStats, SummaryHeadersIncluded) {
+  const std::vector<NodeCommStats> per_node{stats(10, 0, 24, 0)};
+  EXPECT_EQ(summarize(per_node, 0, false).total_bits, 10u);
+  EXPECT_EQ(summarize(per_node, 0, true).total_bits, 34u);
+}
+
+TEST(CommStats, WindowSummarySubtractsBaseline) {
+  const std::vector<NodeCommStats> before{stats(100, 100), stats(50, 50)};
+  std::vector<NodeCommStats> after = before;
+  after[0] += stats(7, 0);
+  after[1] += stats(0, 7);
+  const CommSummary w = window_summary(before, after, 3, false);
+  EXPECT_EQ(w.max_node_bits, 7u);
+  EXPECT_EQ(w.total_bits, 7u);
+  EXPECT_EQ(w.rounds, 3u);
+}
+
+TEST(CommStats, MaxTxRxHelpers) {
+  const std::vector<NodeCommStats> per_node{stats(5, 500), stats(80, 2)};
+  EXPECT_EQ(max_payload_bits_sent(per_node), 80u);
+  EXPECT_EQ(max_payload_bits_received(per_node), 500u);
+}
+
+TEST(CommStats, EmptySummary) {
+  const CommSummary s = summarize({}, 0, false);
+  EXPECT_EQ(s.max_node_bits, 0u);
+  EXPECT_EQ(s.max_node, kNoNode);
+}
+
+}  // namespace
+}  // namespace sensornet::sim

@@ -1,0 +1,133 @@
+#include "src/sketch/loglog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+
+namespace sensornet::sketch {
+namespace {
+
+TEST(LogLog, AlphaConstantMatchesLiterature) {
+  // Durand-Flajolet: alpha_m -> 0.39701... for large m.
+  EXPECT_NEAR(loglog_alpha(1024), 0.39701, 0.002);
+  EXPECT_NEAR(loglog_alpha(64), 0.39701, 0.02);
+}
+
+TEST(LogLog, SigmaConstants) {
+  EXPECT_NEAR(loglog_sigma(1024) * std::sqrt(1024.0), 1.30, 0.01);
+  EXPECT_NEAR(hyperloglog_sigma(256) * std::sqrt(256.0), 1.04, 0.001);
+}
+
+TEST(LogLog, RegisterWidthIsLogLog) {
+  const unsigned w20 = register_width_for(1 << 20);
+  EXPECT_GE(w20, 5u);
+  EXPECT_LE(w20, 7u);
+  EXPECT_LE(register_width_for(100), w20);
+}
+
+TEST(LogLog, RandomModeEstimatesCount) {
+  // sigma ~ 1.3/sqrt(256) ~ 8%; average over trials should be within a few
+  // percent of truth for N >> m.
+  Xoshiro256 rng(101);
+  const unsigned m = 256;
+  constexpr int kTrials = 20;
+  for (const std::uint64_t n : {20000ULL, 100000ULL}) {
+    double sum = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      RegisterArray regs(m, 6);
+      for (std::uint64_t i = 0; i < n; ++i) observe_random(regs, rng);
+      sum += loglog_estimate(regs);
+    }
+    const double avg = sum / kTrials;
+    EXPECT_NEAR(avg / static_cast<double>(n), 1.0, 0.06) << "n=" << n;
+  }
+}
+
+TEST(LogLog, HashedModeCountsDistinctNotOccurrences) {
+  const unsigned m = 256;
+  RegisterArray once(m, 6);
+  RegisterArray tenfold(m, 6);
+  const std::uint64_t distinct = 50000;
+  for (std::uint64_t v = 0; v < distinct; ++v) {
+    observe_hashed(once, v, 1);
+    for (int rep = 0; rep < 10; ++rep) observe_hashed(tenfold, v, 1);
+  }
+  // Duplicates must not move a single register.
+  EXPECT_EQ(once, tenfold);
+  EXPECT_NEAR(loglog_estimate(once) / static_cast<double>(distinct), 1.0,
+              0.15);
+}
+
+TEST(LogLog, HashedModeSaltIndependence) {
+  const unsigned m = 64;
+  RegisterArray a(m, 6);
+  RegisterArray b(m, 6);
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    observe_hashed(a, v, 1);
+    observe_hashed(b, v, 2);
+  }
+  EXPECT_NE(a, b);  // different hash functions -> different sketches
+}
+
+TEST(HyperLogLog, SmallRangeCorrectionKeepsLowCountsHonest) {
+  // Raw LogLog overestimates badly when n << m; HLL's linear counting
+  // correction must not.
+  Xoshiro256 rng(55);
+  const unsigned m = 256;
+  for (const std::uint64_t n : {10ULL, 50ULL, 200ULL}) {
+    double sum = 0;
+    constexpr int kTrials = 30;
+    for (int t = 0; t < kTrials; ++t) {
+      RegisterArray regs(m, 6);
+      for (std::uint64_t i = 0; i < n; ++i) observe_random(regs, rng);
+      sum += hyperloglog_estimate(regs);
+    }
+    const double avg = sum / kTrials;
+    EXPECT_NEAR(avg / static_cast<double>(n), 1.0, 0.15) << "n=" << n;
+  }
+}
+
+TEST(HyperLogLog, StandardErrorScalesWithRegisters) {
+  // Empirical relative error at m=64 should be roughly double that at m=256.
+  Xoshiro256 rng(77);
+  const std::uint64_t n = 50000;
+  const auto rel_err = [&](unsigned m) {
+    constexpr int kTrials = 30;
+    double sq = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      RegisterArray regs(m, 6);
+      for (std::uint64_t i = 0; i < n; ++i) observe_random(regs, rng);
+      const double e = hyperloglog_estimate(regs) / n - 1.0;
+      sq += e * e;
+    }
+    return std::sqrt(sq / kTrials);
+  };
+  const double err64 = rel_err(64);
+  const double err256 = rel_err(256);
+  EXPECT_LT(err256, err64);
+  // Ratio should be ~2 (sqrt(256/64)); allow generous slack for 30 trials.
+  EXPECT_NEAR(err64 / err256, 2.0, 1.2);
+}
+
+TEST(LogLog, EstimateWithinThreeSigmaTypically) {
+  // Fact 2.2 framing: a single invocation is an alpha-counting protocol with
+  // sigma ~ beta_m/sqrt(m). Count 3-sigma violations over trials.
+  Xoshiro256 rng(303);
+  const unsigned m = 128;
+  const std::uint64_t n = 30000;
+  const double sigma = loglog_sigma(m);
+  int violations = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    RegisterArray regs(m, 6);
+    for (std::uint64_t i = 0; i < n; ++i) observe_random(regs, rng);
+    const double rel = loglog_estimate(regs) / static_cast<double>(n) - 1.0;
+    if (std::abs(rel) > 3 * sigma) ++violations;
+  }
+  EXPECT_LE(violations, 3);  // ~0.3% expected; allow a few for small samples
+}
+
+}  // namespace
+}  // namespace sensornet::sketch

@@ -1,0 +1,126 @@
+#include "src/sketch/odi_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/net/topology.hpp"
+#include "src/proto/aggregations.hpp"
+#include "src/proto/tree_wave.hpp"
+#include "src/sketch/loglog.hpp"
+
+namespace sensornet::sketch {
+namespace {
+
+TEST(OdiSum, BinomialSamplerMeanAndSpread) {
+  Xoshiro256 rng(3);
+  // Small-n exact path and large-n approximate path, both ~ n/m on average.
+  for (const std::uint64_t n : {40ULL, 40000ULL}) {
+    const unsigned m = 16;
+    double sum = 0;
+    constexpr int kTrials = 2000;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto draw = sample_binomial_inv_m(n, m, rng);
+      ASSERT_LE(draw, n);
+      sum += static_cast<double>(draw);
+    }
+    const double mean = sum / kTrials;
+    const double expected = static_cast<double>(n) / m;
+    EXPECT_NEAR(mean, expected, 5 * std::sqrt(expected / kTrials) * m);
+  }
+}
+
+TEST(OdiSum, MaxGeometricSingleMatchesPlainGeometric) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += sample_max_geometric(1, rng);
+  EXPECT_NEAR(sum / 20000, 2.0, 0.1);  // Geometric(1/2) mean
+}
+
+TEST(OdiSum, MaxGeometricTracksLogCount) {
+  // E[max of n geometrics] ~ log2(n) + 1.33.
+  Xoshiro256 rng(7);
+  for (const std::uint64_t n : {256ULL, 65536ULL}) {
+    double sum = 0;
+    constexpr int kTrials = 4000;
+    for (int t = 0; t < kTrials; ++t) {
+      sum += sample_max_geometric(n, rng);
+    }
+    EXPECT_NEAR(sum / kTrials, std::log2(static_cast<double>(n)) + 1.33, 0.5)
+        << "n=" << n;
+  }
+}
+
+TEST(OdiSum, ZeroValueIsNoop) {
+  RegisterArray regs(16, 6);
+  Xoshiro256 rng(9);
+  observe_sum(regs, 0, rng);
+  EXPECT_EQ(regs.rank_sum(), 0u);
+}
+
+TEST(OdiSum, EstimatesSumNotCount) {
+  // 50 items of value 1000 each: the estimator must see ~50,000, not ~50.
+  Xoshiro256 rng(11);
+  const unsigned m = 256;
+  double total = 0;
+  constexpr int kTrials = 15;
+  for (int t = 0; t < kTrials; ++t) {
+    RegisterArray regs(m, 6);
+    for (int i = 0; i < 50; ++i) observe_sum(regs, 1000, rng);
+    total += hyperloglog_estimate(regs);
+  }
+  EXPECT_NEAR(total / kTrials / 50000.0, 1.0, 0.1);
+}
+
+TEST(OdiSum, MixedMagnitudes) {
+  Xoshiro256 rng(13);
+  const unsigned m = 256;
+  std::uint64_t truth = 0;
+  RegisterArray regs(m, 6);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.next_below(5000);
+    truth += v;
+    observe_sum(regs, v, rng);
+  }
+  EXPECT_NEAR(hyperloglog_estimate(regs) / static_cast<double>(truth), 1.0,
+              0.35);  // single sketch: ~3 sigma at m=256 plus approx slack
+}
+
+TEST(OdiSum, SumWaveOverTree) {
+  // End-to-end: kSumOdi registers aggregated by a tree wave estimate the
+  // network-wide SUM.
+  sim::Network net(net::make_grid(8, 8), 17);
+  Xoshiro256 rng(19);
+  std::uint64_t truth = 0;
+  ValueSet xs(64);
+  for (auto& x : xs) {
+    x = static_cast<Value>(rng.next_below(2000));
+    truth += static_cast<std::uint64_t>(x);
+  }
+  net.set_one_item_per_node(xs);
+  const auto tree = net::bfs_tree(net.graph(), 0);
+  proto::LogLogAgg::Request req;
+  req.registers = 256;
+  req.width = 6;
+  req.mode = proto::LogLogAgg::Mode::kSumOdi;
+  double total = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    proto::TreeWave<proto::LogLogAgg> wave(tree, static_cast<std::uint32_t>(t));
+    total += hyperloglog_estimate(wave.execute(net, req));
+  }
+  EXPECT_NEAR(total / kTrials / static_cast<double>(truth), 1.0, 0.15);
+}
+
+TEST(OdiSum, RegisterStateStaysMergeIdempotent) {
+  // The ODI property that makes this sketch multipath-safe.
+  Xoshiro256 rng(23);
+  RegisterArray a(64, 6);
+  observe_sum(a, 12345, rng);
+  RegisterArray merged = a;
+  merged.merge(a);
+  EXPECT_EQ(merged, a);
+}
+
+}  // namespace
+}  // namespace sensornet::sketch

@@ -1,0 +1,101 @@
+#include "src/sketch/registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::sketch {
+namespace {
+
+TEST(Registers, StartsZeroed) {
+  const RegisterArray a(16, 5);
+  EXPECT_EQ(a.count(), 16u);
+  EXPECT_EQ(a.width(), 5u);
+  EXPECT_EQ(a.zero_count(), 16u);
+  EXPECT_EQ(a.rank_sum(), 0u);
+}
+
+TEST(Registers, RequiresPowerOfTwoCount) {
+  EXPECT_THROW(RegisterArray(12, 5), PreconditionError);
+  EXPECT_THROW(RegisterArray(0, 5), PreconditionError);
+}
+
+TEST(Registers, WidthBounds) {
+  EXPECT_THROW(RegisterArray(8, 0), PreconditionError);
+  EXPECT_THROW(RegisterArray(8, 9), PreconditionError);
+}
+
+TEST(Registers, ObserveKeepsMax) {
+  RegisterArray a(4, 5);
+  a.observe(2, 7);
+  a.observe(2, 3);
+  EXPECT_EQ(a.value(2), 7u);
+  a.observe(2, 9);
+  EXPECT_EQ(a.value(2), 9u);
+}
+
+TEST(Registers, ObserveSaturatesAtWidth) {
+  RegisterArray a(4, 3);  // max register value 7
+  a.observe(0, 250);
+  EXPECT_EQ(a.value(0), 7u);
+}
+
+TEST(Registers, MergeIsElementwiseMax) {
+  RegisterArray a(4, 5);
+  RegisterArray b(4, 5);
+  a.observe(0, 3);
+  a.observe(1, 9);
+  b.observe(0, 5);
+  b.observe(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.value(0), 5u);
+  EXPECT_EQ(a.value(1), 9u);
+  EXPECT_EQ(a.value(2), 2u);
+  EXPECT_EQ(a.value(3), 0u);
+}
+
+TEST(Registers, MergeIsIdempotentAndCommutative) {
+  RegisterArray a(8, 5);
+  RegisterArray b(8, 5);
+  for (unsigned i = 0; i < 8; ++i) {
+    a.observe(i, i + 1);
+    b.observe(i, 8 - i);
+  }
+  RegisterArray ab = a;
+  ab.merge(b);
+  RegisterArray ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  RegisterArray abb = ab;
+  abb.merge(b);  // duplicate delivery (the [2] robustness property)
+  EXPECT_EQ(abb, ab);
+}
+
+TEST(Registers, MergeGeometryMismatchThrows) {
+  RegisterArray a(8, 5);
+  RegisterArray b(4, 5);
+  EXPECT_THROW(a.merge(b), PreconditionError);
+  RegisterArray c(8, 4);
+  EXPECT_THROW(a.merge(c), PreconditionError);
+}
+
+TEST(Registers, WireRoundTrip) {
+  RegisterArray a(16, 6);
+  for (unsigned i = 0; i < 16; ++i) a.observe(i, (i * 7) % 63);
+  BitWriter w;
+  a.encode(w);
+  EXPECT_EQ(w.bit_count(), a.wire_bits());
+  EXPECT_EQ(a.wire_bits(), 16u * 6u);
+  BitReader r(w.bytes().data(), w.bit_count());
+  const RegisterArray back = RegisterArray::decode(r, 16, 6);
+  EXPECT_EQ(back, a);
+}
+
+TEST(Registers, OutOfRangeBucketThrows) {
+  RegisterArray a(4, 5);
+  EXPECT_THROW(a.observe(4, 1), PreconditionError);
+  EXPECT_THROW(a.value(4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sensornet::sketch
