@@ -56,10 +56,15 @@ void run() {
   Table table({"stage", "mu-hat", "interval (original domain)", "width / X",
                "rank target k"});
   for (const auto& st : res.trace) {
+    // Built piecewise: the `"[" + to_string(..) + ...` rvalue chain trips
+    // GCC 12's -Wrestrict false positive (PR 105651) at -O3 under -Werror.
+    std::string interval = "[";
+    interval += std::to_string(st.interval_lo);
+    interval += ", ";
+    interval += std::to_string(st.interval_hi);
+    interval += "]";
     table.add_row(
-        {std::to_string(st.stage), std::to_string(st.mu_hat),
-         "[" + std::to_string(st.interval_lo) + ", " +
-             std::to_string(st.interval_hi) + "]",
+        {std::to_string(st.stage), std::to_string(st.mu_hat), interval,
          fmt(static_cast<double>(st.interval_hi - st.interval_lo) /
                  static_cast<double>(X),
              6),

@@ -1,0 +1,50 @@
+# Target-declaration helpers shared by every directory of the build.
+
+# sensornet_add_library(<name> SOURCES ... DEPS ...)
+#
+# One architectural layer as a static library. Every layer exports the
+# repository root as its include directory so the canonical
+# `#include "src/<layer>/<header>.hpp"` form works everywhere.
+function(sensornet_add_library name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(${name} STATIC ${ARG_SOURCES})
+  add_library(sensornet::${name} ALIAS ${name})
+  target_include_directories(${name} PUBLIC ${PROJECT_SOURCE_DIR})
+  target_link_libraries(${name} PUBLIC ${ARG_DEPS} PRIVATE sensornet::build_flags)
+endfunction()
+
+# sensornet_add_test(<stem>_test.cpp LIB <layer-lib>... [LABEL <label>])
+#
+# One gtest suite, registered with ctest as <dirname>_<stem> and labeled
+# `unit` (default) or `integration` so CI lanes can select subsets.
+function(sensornet_add_test src)
+  cmake_parse_arguments(ARG "" "LABEL" "LIB" ${ARGN})
+  if(NOT ARG_LABEL)
+    set(ARG_LABEL unit)
+  endif()
+  get_filename_component(stem ${src} NAME_WE)
+  get_filename_component(dir ${CMAKE_CURRENT_SOURCE_DIR} NAME)
+  set(name "${dir}_${stem}")
+  add_executable(${name} ${src})
+  target_link_libraries(${name} PRIVATE ${ARG_LIB} GTest::gtest_main sensornet::build_flags)
+  add_test(NAME ${name} COMMAND ${name})
+  # Generous timeout: sanitizer Debug builds are ~40x slower than Release.
+  set_tests_properties(${name} PROPERTIES LABELS ${ARG_LABEL} TIMEOUT 900)
+endfunction()
+
+# sensornet_add_bench(<name>.cpp DEPS ...) — one benchmark executable.
+function(sensornet_add_bench src)
+  cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${src})
+  target_link_libraries(${name} PRIVATE
+    sensornet_bench_util ${ARG_DEPS} sensornet::build_flags)
+endfunction()
+
+# sensornet_add_example(<name>.cpp DEPS ...) — one example executable.
+function(sensornet_add_example src)
+  cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${src})
+  target_link_libraries(${name} PRIVATE ${ARG_DEPS} sensornet::build_flags)
+endfunction()
