@@ -1,0 +1,537 @@
+// PERF — simulator hot-path benchmark with an in-run seed baseline.
+//
+// Runs a scenario matrix (line / grid / random-geometric / complete
+// single-hop topologies, with and without message loss, across a unicast /
+// broadcast / tree-wave protocol mix) on BOTH the production simulator
+// (CSR graph + shared payload slabs + calendar queue) and a faithful replica
+// of the seed simulator (bench/util/legacy_sim.hpp), in the same process,
+// and emits BENCH_PR2.json with deliveries/sec, ns/delivery and peak
+// in-flight bytes for each, plus the speedup ratio. Delivery counts are
+// cross-checked between the two implementations — a mismatch means the
+// rearchitected event loop changed semantics, and the row is flagged.
+//
+// Usage: perf_driver [--quick] [--out PATH]
+//   --quick   smaller scenario sizes (CI smoke lane)
+//   --out     output JSON path (default: BENCH_PR2.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/network.hpp"
+#include "util/legacy_sim.hpp"
+
+namespace sensornet::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Uniform access to both simulator generations.
+// ---------------------------------------------------------------------------
+template <class Net>
+struct SimTraits;
+
+template <>
+struct SimTraits<sim::Network> {
+  using Msg = sim::Message;
+  using Handler = sim::ProtocolHandler;
+};
+
+template <>
+struct SimTraits<LegacyNetwork> {
+  using Msg = LegacyMessage;
+  using Handler = LegacyProtocolHandler;
+};
+
+/// Counts deliveries; the sink for storm / burst scenarios.
+template <class Net>
+class CountingHandler final : public SimTraits<Net>::Handler {
+ public:
+  std::uint64_t deliveries = 0;
+  void on_message(Net&, NodeId,
+                  const typename SimTraits<Net>::Msg&) override {
+    ++deliveries;
+  }
+};
+
+/// Relays each message one hop to the right along a line.
+template <class Net>
+class RelayHandler final : public SimTraits<Net>::Handler {
+  using Msg = typename SimTraits<Net>::Msg;
+
+ public:
+  std::uint64_t deliveries = 0;
+  void on_message(Net& net, NodeId receiver, const Msg& msg) override {
+    ++deliveries;
+    if (receiver + 1 < net.node_count()) {
+      BitWriter w;
+      w.write_bits(0xC3, 8);
+      net.send(Msg::make(receiver, receiver + 1, msg.session, 1,
+                         std::move(w)));
+    }
+  }
+};
+
+/// Request-down / count-up broadcast-convergecast waves over a spanning
+/// tree — the TreeWave access pattern, reimplemented here so one source
+/// drives both simulator generations. `lanes` independent query sessions
+/// run concurrently per batch (lanes == 1 is the classic sequential wave),
+/// modeling a root that pipelines queries instead of idling between them.
+/// Under loss a wave silently covers less of the tree (fine for throughput
+/// measurement; the production TreeWave driver would throw). Per-batch
+/// resets touch only nodes the previous wave reached, so driver bookkeeping
+/// stays off the measured hot path.
+template <class Net>
+class WaveHandler final : public SimTraits<Net>::Handler {
+  using Msg = typename SimTraits<Net>::Msg;
+
+ public:
+  WaveHandler(const net::SpanningTree& tree, unsigned lanes)
+      : tree_(tree), lanes_(lanes), state_(lanes) {
+    for (auto& s : state_) {
+      s.pending.assign(tree_.parent.size(), 0);
+      s.acc.assign(tree_.parent.size(), 0);
+    }
+  }
+
+  std::uint64_t deliveries = 0;
+  std::uint64_t root_total = 0;
+
+  void run_batch(Net& net, std::uint32_t batch) {
+    batch_ = batch;
+    for (unsigned lane = 0; lane < lanes_; ++lane) {
+      auto& s = state_[lane];
+      for (const NodeId u : s.touched) {
+        s.pending[u] = 0;
+        s.acc[u] = 0;
+      }
+      s.touched.clear();
+      start(net, lane, tree_.root);
+    }
+    net.run(*this);
+  }
+
+  void on_message(Net& net, NodeId receiver, const Msg& msg) override {
+    ++deliveries;
+    const unsigned lane =
+        static_cast<unsigned>(msg.session - batch_ * lanes_);
+    if (msg.kind == 1) {
+      start(net, lane, receiver);
+    } else {
+      auto& s = state_[lane];
+      BitReader r = msg.reader();
+      s.acc[receiver] += r.read_bits(32);
+      if (--s.pending[receiver] == 0) finish(net, lane, receiver);
+    }
+  }
+
+ private:
+  struct Lane {
+    std::vector<std::size_t> pending;
+    std::vector<std::uint64_t> acc;
+    std::vector<NodeId> touched;
+  };
+
+  void start(Net& net, unsigned lane, NodeId node) {
+    auto& s = state_[lane];
+    s.touched.push_back(node);
+    s.acc[node] = 1;
+    const auto& children = tree_.children[node];
+    s.pending[node] = children.size();
+    if (children.empty()) {
+      finish(net, lane, node);
+      return;
+    }
+    for (const NodeId child : children) {
+      BitWriter w;
+      w.write_bits(0x5AA5, 16);
+      net.send(
+          Msg::make(node, child, batch_ * lanes_ + lane, 1, std::move(w)));
+    }
+  }
+
+  void finish(Net& net, unsigned lane, NodeId node) {
+    auto& s = state_[lane];
+    if (node == tree_.root) {
+      root_total += s.acc[node];
+      return;
+    }
+    BitWriter w;
+    w.write_bits(static_cast<std::uint32_t>(s.acc[node]), 32);
+    net.send(Msg::make(node, tree_.parent[node], batch_ * lanes_ + lane, 2,
+                       std::move(w)));
+  }
+
+  const net::SpanningTree& tree_;
+  unsigned lanes_;
+  std::uint32_t batch_ = 0;
+  std::vector<Lane> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario bodies (templated over the simulator generation).
+// ---------------------------------------------------------------------------
+
+/// Every node shared-medium-broadcasts a small payload, every round.
+template <class Net>
+std::uint64_t broadcast_storm(Net& net, unsigned rounds) {
+  using Msg = typename SimTraits<Net>::Msg;
+  CountingHandler<Net> sink;
+  const auto n = static_cast<NodeId>(net.node_count());
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (NodeId u = 0; u < n; ++u) {
+      BitWriter w;
+      w.write_bits(0xA5, 8);
+      net.send_medium(Msg::make(u, kNoNode, r, 1, std::move(w)));
+    }
+    net.run(sink);
+  }
+  return sink.deliveries;
+}
+
+/// `batches` batches of `lanes` concurrent broadcast-convergecast waves
+/// over the BFS tree.
+template <class Net>
+std::uint64_t tree_waves(Net& net, const net::SpanningTree& tree,
+                         unsigned lanes, unsigned batches) {
+  WaveHandler<Net> handler(tree, lanes);
+  for (unsigned b = 0; b < batches; ++b) handler.run_batch(net, b);
+  return handler.deliveries;
+}
+
+/// End-to-end unicast relays along a line.
+template <class Net>
+std::uint64_t line_relay(Net& net, unsigned passes) {
+  using Msg = typename SimTraits<Net>::Msg;
+  RelayHandler<Net> handler;
+  for (unsigned p = 0; p < passes; ++p) {
+    BitWriter w;
+    w.write_bits(0xC3, 8);
+    net.send(Msg::make(0, 1, p, 1, std::move(w)));
+    net.run(handler);
+  }
+  return handler.deliveries;
+}
+
+/// Every node unicasts a 40-byte (register-array-sized, heap-slab) payload
+/// to each neighbor, every round.
+template <class Net, class G>
+std::uint64_t neighbor_burst(Net& net, const G& graph, unsigned rounds) {
+  using Msg = typename SimTraits<Net>::Msg;
+  CountingHandler<Net> sink;
+  const auto n = static_cast<NodeId>(net.node_count());
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : graph.neighbors(u)) {
+        BitWriter w;
+        w.reserve(320);
+        for (int word = 0; word < 5; ++word) {
+          w.write_bits(0x0123456789ABCDEFULL ^ word, 64);
+        }
+        net.send(Msg::make(u, v, r, 1, std::move(w)));
+      }
+    }
+    net.run(sink);
+  }
+  return sink.deliveries;
+}
+
+// ---------------------------------------------------------------------------
+// Measurement plumbing.
+// ---------------------------------------------------------------------------
+struct RunMetrics {
+  std::uint64_t deliveries = 0;
+  double seconds = 0.0;
+  std::size_t peak_in_flight_bytes = 0;
+
+  double deliveries_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(deliveries) / seconds : 0.0;
+  }
+  double ns_per_delivery() const {
+    return deliveries > 0
+               ? seconds * 1e9 / static_cast<double>(deliveries)
+               : 0.0;
+  }
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string topology;
+  std::string protocol;
+  std::size_t nodes = 0;
+  double loss = 0.0;
+  RunMetrics fresh;   // production simulator
+  RunMetrics legacy;  // seed replica
+  bool deliveries_match = false;
+
+  double speedup() const {
+    return legacy.deliveries_per_sec() > 0.0
+               ? fresh.deliveries_per_sec() / legacy.deliveries_per_sec()
+               : 0.0;
+  }
+};
+
+template <class Net, class Body>
+RunMetrics measure(Net& net, Body&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RunMetrics m;
+  m.deliveries = body(net);
+  const auto t1 = std::chrono::steady_clock::now();
+  m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.peak_in_flight_bytes = net.peak_in_flight_bytes();
+  return m;
+}
+
+/// Runs one scenario on both simulator generations over the same graph and
+/// the same (seeded) loss stream. Legacy goes first; any allocator warm-up
+/// therefore favors the baseline, not us.
+template <class Body>
+ScenarioResult run_scenario(std::string name, std::string topology,
+                            std::string protocol, const net::Graph& graph,
+                            double loss, Body&& body) {
+  ScenarioResult res;
+  res.name = std::move(name);
+  res.topology = std::move(topology);
+  res.protocol = std::move(protocol);
+  res.nodes = graph.node_count();
+  res.loss = loss;
+
+  {
+    LegacyNetwork legacy(LegacyGraph::from(graph));
+    legacy.set_message_loss(loss);
+    res.legacy = measure(legacy, body);
+  }
+  {
+    sim::Network fresh(graph, /*master_seed=*/1);
+    fresh.set_message_loss(loss);
+    res.fresh = measure(fresh, body);
+  }
+  res.deliveries_match = res.fresh.deliveries == res.legacy.deliveries;
+
+  std::cout << std::left << std::setw(34) << res.name << " legacy "
+            << std::setw(10) << std::right << std::fixed
+            << std::setprecision(0) << res.legacy.deliveries_per_sec()
+            << "/s   new " << std::setw(10) << res.fresh.deliveries_per_sec()
+            << "/s   x" << std::setprecision(2) << res.speedup()
+            << (res.deliveries_match ? "" : "   [DELIVERY MISMATCH]") << "\n";
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission (schema validated by the CI bench-smoke lane).
+// ---------------------------------------------------------------------------
+void write_metrics(std::ostream& os, const char* key, const RunMetrics& m,
+                   const char* trailing) {
+  os << "      \"" << key << "\": {\n"
+     << "        \"deliveries\": " << m.deliveries << ",\n"
+     << "        \"seconds\": " << std::setprecision(6) << std::fixed
+     << m.seconds << ",\n"
+     << "        \"deliveries_per_sec\": " << std::setprecision(1)
+     << m.deliveries_per_sec() << ",\n"
+     << "        \"ns_per_delivery\": " << std::setprecision(2)
+     << m.ns_per_delivery() << ",\n"
+     << "        \"peak_in_flight_bytes\": " << m.peak_in_flight_bytes
+     << "\n      }" << trailing << "\n";
+}
+
+void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
+                bool quick) {
+  double broadcast_min = 0.0;
+  double wave_min = 0.0;
+  bool all_match = true;
+  for (const auto& r : results) {
+    all_match = all_match && r.deliveries_match;
+    if (r.protocol == "broadcast-storm") {
+      broadcast_min =
+          broadcast_min == 0.0 ? r.speedup() : std::min(broadcast_min, r.speedup());
+    }
+    if (r.protocol == "tree-wave") {
+      wave_min = wave_min == 0.0 ? r.speedup() : std::min(wave_min, r.speedup());
+    }
+  }
+
+  os << "{\n"
+     << "  \"bench\": \"BENCH_PR2\",\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\n"
+       << "      \"name\": \"" << r.name << "\",\n"
+       << "      \"topology\": \"" << r.topology << "\",\n"
+       << "      \"protocol\": \"" << r.protocol << "\",\n"
+       << "      \"nodes\": " << r.nodes << ",\n"
+       << "      \"loss\": " << std::setprecision(2) << std::fixed << r.loss
+       << ",\n"
+       << "      \"deliveries_match\": " << (r.deliveries_match ? "true" : "false")
+       << ",\n";
+    write_metrics(os, "new", r.fresh, ",");
+    write_metrics(os, "legacy", r.legacy, ",");
+    os << "      \"speedup\": " << std::setprecision(3) << std::fixed
+       << r.speedup() << "\n    }" << (i + 1 < results.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ],\n"
+     << "  \"summary\": {\n"
+     << "    \"all_deliveries_match\": " << (all_match ? "true" : "false")
+     << ",\n"
+     << "    \"broadcast_min_speedup\": " << std::setprecision(3)
+     << broadcast_min << ",\n"
+     << "    \"tree_wave_min_speedup\": " << wave_min << ",\n"
+     << "    \"broadcast_speedup_target\": 3.0,\n"
+     << "    \"tree_wave_speedup_target\": 1.5,\n"
+     << "    \"broadcast_target_met\": "
+     << (broadcast_min >= 3.0 ? "true" : "false") << ",\n"
+     << "    \"tree_wave_target_met\": " << (wave_min >= 1.5 ? "true" : "false")
+     << "\n  }\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// The scenario matrix.
+// ---------------------------------------------------------------------------
+struct Scale {
+  std::size_t storm_nodes, storm_rounds;
+  std::size_t wave_lanes;
+  std::size_t line_nodes, line_batches;
+  std::size_t grid_side, grid_batches;
+  std::size_t geo_nodes, geo_batches;
+  std::size_t seq_waves;
+  std::size_t relay_nodes, relay_passes;
+  std::size_t burst_grid_side, burst_grid_rounds;
+  std::size_t burst_geo_nodes, burst_geo_rounds;
+};
+
+// Sized so every timed region runs for tens of milliseconds at seed-era
+// throughput — long enough that steady_clock jitter stays in the noise.
+constexpr Scale kFull{256, 40, 32, 2048, 8, 64, 4, 2048, 6, 150,
+                      4096, 400, 64, 25, 2048, 40};
+constexpr Scale kQuick{96, 25, 32, 512, 4, 32, 2, 512, 3, 40,
+                       1024, 80, 32, 8, 512, 10};
+
+std::vector<ScenarioResult> run_matrix(const Scale& s) {
+  std::vector<ScenarioResult> results;
+  const auto tag = [](const char* base, double loss) {
+    return std::string(base) + (loss > 0.0 ? "/loss10" : "/loss0");
+  };
+
+  Xoshiro256 topo_rng(2024);
+  const net::Graph complete = net::make_complete(s.storm_nodes);
+  const net::Graph line = net::make_line(s.line_nodes);
+  const net::Graph grid = net::make_grid(s.grid_side, s.grid_side);
+  const net::Graph geo =
+      net::make_topology(net::TopologyKind::kGeometric, s.geo_nodes, topo_rng);
+  const net::Graph relay_line = net::make_line(s.relay_nodes);
+  const net::Graph burst_grid =
+      net::make_grid(s.burst_grid_side, s.burst_grid_side);
+  const net::Graph burst_geo = net::make_topology(
+      net::TopologyKind::kGeometric, s.burst_geo_nodes, topo_rng);
+
+  const net::SpanningTree line_tree = net::bfs_tree(line, 0);
+  const net::SpanningTree grid_tree = net::bfs_tree(grid, 0);
+  const net::SpanningTree geo_tree = net::bfs_tree(geo, 0);
+
+  for (const double loss : {0.0, 0.1}) {
+    results.push_back(run_scenario(
+        tag("storm/complete", loss), "complete", "broadcast-storm", complete,
+        loss, [&](auto& net) {
+          return broadcast_storm(net, static_cast<unsigned>(s.storm_rounds));
+        }));
+    results.push_back(run_scenario(
+        tag("wave/line", loss), "line", "tree-wave", line, loss,
+        [&](auto& net) {
+          return tree_waves(net, line_tree,
+                            static_cast<unsigned>(s.wave_lanes),
+                            static_cast<unsigned>(s.line_batches));
+        }));
+    results.push_back(run_scenario(
+        tag("wave/grid", loss), "grid", "tree-wave", grid, loss,
+        [&](auto& net) {
+          return tree_waves(net, grid_tree,
+                            static_cast<unsigned>(s.wave_lanes),
+                            static_cast<unsigned>(s.grid_batches));
+        }));
+    results.push_back(run_scenario(
+        tag("wave/geometric", loss), "geometric", "tree-wave", geo, loss,
+        [&](auto& net) {
+          return tree_waves(net, geo_tree,
+                            static_cast<unsigned>(s.wave_lanes),
+                            static_cast<unsigned>(s.geo_batches));
+        }));
+    // Reference row: one wave at a time (a root that idles between
+    // queries). With at most a handful of messages in flight there is no
+    // queue pressure for the calendar to relieve; expect parity-to-modest
+    // gains here, not the headline ratio.
+    results.push_back(run_scenario(
+        tag("waveseq/grid", loss), "grid", "tree-wave-seq", grid, loss,
+        [&](auto& net) {
+          return tree_waves(net, grid_tree, /*lanes=*/1,
+                            static_cast<unsigned>(s.seq_waves));
+        }));
+    results.push_back(run_scenario(
+        tag("relay/line", loss), "line", "unicast-relay", relay_line, loss,
+        [&](auto& net) {
+          return line_relay(net, static_cast<unsigned>(s.relay_passes));
+        }));
+    results.push_back(run_scenario(
+        tag("burst/grid", loss), "grid", "neighbor-burst", burst_grid, loss,
+        [&](auto& net) {
+          return neighbor_burst(net, net.graph(),
+                                static_cast<unsigned>(s.burst_grid_rounds));
+        }));
+    results.push_back(run_scenario(
+        tag("burst/geometric", loss), "geometric", "neighbor-burst", burst_geo,
+        loss, [&](auto& net) {
+          return neighbor_burst(net, net.graph(),
+                                static_cast<unsigned>(s.burst_geo_rounds));
+        }));
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace sensornet::bench
+
+int main(int argc, char** argv) {
+  using namespace sensornet::bench;
+  bool quick = false;
+  std::string out_path = "BENCH_PR2.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_driver [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "PERF simulator hot-path benchmark ("
+            << (quick ? "quick" : "full") << " matrix)\n\n";
+  const auto results = run_matrix(quick ? kQuick : kFull);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  write_json(out, results, quick);
+  std::cout << "\nwrote " << out_path << "\n";
+
+  for (const auto& r : results) {
+    if (!r.deliveries_match) {
+      std::cerr << "FATAL: delivery count mismatch in " << r.name
+                << " — semantics drift between simulator generations\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,231 @@
+// Faithful replica of the seed simulator's hot path, kept as the in-run
+// baseline for perf_driver.
+//
+// This is intentionally the OLD architecture, preserved verbatim in
+// behavior: adjacency-list graph with linear has_edge scans, one heap
+// vector per message payload, per-receiver deep copies in send_medium, and
+// a (time, seq) priority queue backed by an append-only in_flight_ message
+// store that grows for the whole run. perf_driver runs every scenario on
+// this and on sim::Network in the same process and reports the ratio, so
+// speedups are measured against the real seed algorithm on the same
+// hardware, same inputs, same loss stream — not against a remembered
+// number. Do not "fix" this file when the production simulator changes.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/bitio.hpp"
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+#include "src/net/graph.hpp"
+#include "src/sim/comm_stats.hpp"
+#include "src/sim/message.hpp"
+
+namespace sensornet::bench {
+
+/// The seed's adjacency-list graph: neighbors in insertion order, has_edge
+/// by linear scan of the lower-degree endpoint's list.
+class LegacyGraph {
+ public:
+  explicit LegacyGraph(std::size_t node_count) : adjacency_(node_count) {}
+
+  /// Builds the legacy adjacency image of a CSR graph (same edges, same
+  /// per-node neighbor order).
+  static LegacyGraph from(const net::Graph& g) {
+    LegacyGraph out(g.node_count());
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (u < v) out.add_edge(u, v);
+      }
+    }
+    return out;
+  }
+
+  void add_edge(NodeId u, NodeId v) {
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+  }
+
+  bool has_edge(NodeId u, NodeId v) const {
+    const auto& smaller = adjacency_[u].size() <= adjacency_[v].size()
+                              ? adjacency_[u]
+                              : adjacency_[v];
+    const NodeId target =
+        adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+    for (const NodeId x : smaller) {
+      if (x == target) return true;
+    }
+    return false;
+  }
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  const std::vector<NodeId>& neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+/// The seed's wire unit: one heap-allocated byte vector per message.
+struct LegacyMessage {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint32_t session = 0;
+  std::uint16_t kind = 0;
+  std::vector<std::uint8_t> payload;
+  std::uint32_t payload_bits = 0;
+
+  static LegacyMessage make(NodeId from, NodeId to, std::uint32_t session,
+                            std::uint16_t kind, BitWriter&& w) {
+    LegacyMessage m;
+    m.from = from;
+    m.to = to;
+    m.session = session;
+    m.kind = kind;
+    m.payload_bits = static_cast<std::uint32_t>(w.bit_count());
+    m.payload = w.take_bytes();
+    return m;
+  }
+
+  BitReader reader() const { return BitReader(payload.data(), payload_bits); }
+};
+
+class LegacyNetwork;
+
+class LegacyProtocolHandler {
+ public:
+  virtual ~LegacyProtocolHandler() = default;
+  virtual void on_message(LegacyNetwork& net, NodeId receiver,
+                          const LegacyMessage& msg) = 0;
+};
+
+/// The seed's event loop: std::priority_queue over (time, seq) plus an
+/// append-only in_flight_ store reclaimed only when a run drains.
+class LegacyNetwork {
+ public:
+  explicit LegacyNetwork(LegacyGraph graph)
+      : graph_(std::move(graph)), stats_(graph_.node_count()) {}
+
+  std::size_t node_count() const { return graph_.node_count(); }
+  const LegacyGraph& graph() const { return graph_; }
+
+  void set_message_loss(double p) { loss_probability_ = p; }
+
+  void send(LegacyMessage msg) {
+    if (!graph_.has_edge(msg.from, msg.to)) {
+      throw ProtocolError("legacy send: no link");
+    }
+    charge_send(msg.from, msg);
+    if (loss_probability_ > 0.0 && loss_rng_.next_bool(loss_probability_)) {
+      return;
+    }
+    charge_receive(msg.to, msg);
+    if ((msg.from == watch_u_ && msg.to == watch_v_) ||
+        (msg.from == watch_v_ && msg.to == watch_u_)) {
+      watched_bits_ += msg.payload_bits;
+    }
+    const NodeId to = msg.to;
+    schedule(std::move(msg), to);
+  }
+
+  void send_medium(LegacyMessage msg) {
+    charge_send(msg.from, msg);
+    for (NodeId u = 0; u < node_count(); ++u) {
+      if (u == msg.from) continue;
+      if (!graph_.has_edge(msg.from, u)) {
+        throw ProtocolError("legacy send_medium: not single-hop");
+      }
+      if (loss_probability_ > 0.0 && loss_rng_.next_bool(loss_probability_)) {
+        continue;
+      }
+      charge_receive(u, msg);
+      LegacyMessage copy = msg;  // the seed's per-receiver deep copy
+      schedule(std::move(copy), u);
+    }
+  }
+
+  void run(LegacyProtocolHandler& handler,
+           std::uint64_t max_deliveries = 1ULL << 32) {
+    std::uint64_t delivered = 0;
+    while (!queue_.empty()) {
+      const PendingDelivery next = queue_.top();
+      queue_.pop();
+      now_ = next.at;
+      LegacyMessage msg = std::move(in_flight_[next.msg_index]);
+      live_payload_bytes_ -= msg.payload.capacity();
+      handler.on_message(*this, msg.to, msg);
+      if (++delivered > max_deliveries) {
+        throw ProtocolError("legacy run: delivery budget exceeded");
+      }
+    }
+    in_flight_.clear();
+    seq_ = 0;
+  }
+
+  SimTime now() const { return now_; }
+  const sim::NodeCommStats& stats(NodeId node) const { return stats_[node]; }
+  const std::vector<sim::NodeCommStats>& all_stats() const { return stats_; }
+
+  /// Same metric as sim::Network::peak_in_flight_bytes(): payload heap bytes
+  /// held by undelivered messages plus the message-store footprint.
+  std::size_t peak_in_flight_bytes() const { return peak_in_flight_bytes_; }
+
+ private:
+  struct PendingDelivery {
+    SimTime at;
+    std::uint64_t seq;
+    std::size_t msg_index;
+  };
+  struct DeliveryOrder {
+    bool operator()(const PendingDelivery& a, const PendingDelivery& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void charge_send(NodeId node, const LegacyMessage& msg) {
+    auto& st = stats_[node];
+    st.payload_bits_sent += msg.payload_bits;
+    st.header_bits_sent += sim::kHeaderBits;
+    st.messages_sent += 1;
+  }
+
+  void charge_receive(NodeId node, const LegacyMessage& msg) {
+    auto& st = stats_[node];
+    st.payload_bits_received += msg.payload_bits;
+    st.header_bits_received += sim::kHeaderBits;
+    st.messages_received += 1;
+  }
+
+  void schedule(LegacyMessage msg, NodeId to) {
+    msg.to = to;
+    live_payload_bytes_ += msg.payload.capacity();
+    in_flight_.push_back(std::move(msg));
+    queue_.push(PendingDelivery{now_ + 1, seq_++, in_flight_.size() - 1});
+    const std::size_t footprint =
+        live_payload_bytes_ + in_flight_.capacity() * sizeof(LegacyMessage);
+    if (footprint > peak_in_flight_bytes_) peak_in_flight_bytes_ = footprint;
+  }
+
+  LegacyGraph graph_;
+  Xoshiro256 loss_rng_{0x10c5};
+  double loss_probability_ = 0.0;
+  std::vector<sim::NodeCommStats> stats_;
+  std::vector<LegacyMessage> in_flight_;
+  std::priority_queue<PendingDelivery, std::vector<PendingDelivery>,
+                      DeliveryOrder>
+      queue_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  NodeId watch_u_ = kNoNode;
+  NodeId watch_v_ = kNoNode;
+  std::uint64_t watched_bits_ = 0;
+  std::size_t live_payload_bytes_ = 0;
+  std::size_t peak_in_flight_bytes_ = 0;
+};
+
+}  // namespace sensornet::bench

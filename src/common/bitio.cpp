@@ -4,19 +4,35 @@
 
 namespace sensornet {
 
+void BitWriter::push_byte() {
+  if (!spilled_) {
+    if (byte_count_ < kInlineCapacity) {
+      inline_[byte_count_++] = 0;
+      return;
+    }
+    // Spill: move the inline image to the heap and keep growing there.
+    heap_.assign(inline_.begin(), inline_.end());
+    spilled_ = true;
+  }
+  heap_.push_back(0);
+  ++byte_count_;
+}
+
 void BitWriter::write_bits(std::uint64_t value, unsigned n) {
   SENSORNET_EXPECTS(n <= 64);
   // Emit MSB-first, a byte-sized chunk at a time.
   while (n > 0) {
     const unsigned used = static_cast<unsigned>(bit_count_ % 8);
-    if (used == 0) bytes_.push_back(0);
+    if (used == 0) push_byte();
+    std::uint8_t* back =
+        (spilled_ ? heap_.data() : inline_.data()) + (byte_count_ - 1);
     const unsigned free_bits = 8 - used;
     const unsigned take = free_bits < n ? free_bits : n;
     const std::uint64_t chunk =
         (n == 64 && take == 0)
             ? 0
             : (value >> (n - take)) & ((1ULL << take) - 1);
-    bytes_.back() |= static_cast<std::uint8_t>(chunk << (free_bits - take));
+    *back |= static_cast<std::uint8_t>(chunk << (free_bits - take));
     bit_count_ += take;
     n -= take;
   }
@@ -25,14 +41,30 @@ void BitWriter::write_bits(std::uint64_t value, unsigned n) {
 void BitWriter::write_bit(bool bit) {
   const std::size_t byte_index = bit_count_ / 8;
   const unsigned bit_index = 7 - static_cast<unsigned>(bit_count_ % 8);
-  if (byte_index == bytes_.size()) bytes_.push_back(0);
-  if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(1u << bit_index);
+  if (byte_index == byte_count_) push_byte();
+  std::uint8_t* buf = spilled_ ? heap_.data() : inline_.data();
+  if (bit) buf[byte_index] |= static_cast<std::uint8_t>(1u << bit_index);
   ++bit_count_;
 }
 
+void BitWriter::reserve(std::size_t bits) {
+  const std::size_t total_bytes = (bit_count_ + bits + 7) / 8;
+  if (total_bytes > kInlineCapacity) heap_.reserve(total_bytes);
+}
+
 std::vector<std::uint8_t> BitWriter::take_bytes() {
+  std::vector<std::uint8_t> out;
+  if (spilled_) {
+    out = std::move(heap_);
+  } else {
+    out.assign(inline_.begin(), inline_.begin() + byte_count_);
+  }
+  heap_.clear();
+  spilled_ = false;
+  byte_count_ = 0;
   bit_count_ = 0;
-  return std::move(bytes_);
+  inline_.fill(0);
+  return out;
 }
 
 BitReader::BitReader(const std::uint8_t* data, std::size_t bit_count)

@@ -5,16 +5,25 @@
 // costs exactly 3 bits of communication.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace sensornet {
 
 /// Append-only bit buffer. Bits are packed MSB-first within each byte so the
 /// wire image is independent of host endianness.
+///
+/// Buffers of at most kInlineCapacity bytes live inside the writer itself —
+/// building a typical protocol message (a few dozen bits) never touches the
+/// allocator. Longer images spill to a heap vector transparently.
 class BitWriter {
  public:
+  /// Byte images at or below this size are built allocation-free.
+  static constexpr std::size_t kInlineCapacity = 16;
+
   /// Appends the `n` low-order bits of `value`, most significant first.
   /// n must be in [0, 64].
   void write_bits(std::uint64_t value, unsigned n);
@@ -22,17 +31,32 @@ class BitWriter {
   /// Appends a single bit.
   void write_bit(bool bit);
 
+  /// Ensures capacity for `bits` more bits beyond what is already written,
+  /// so a message-building loop with a known wire size never reallocates
+  /// mid-encode.
+  void reserve(std::size_t bits);
+
   /// Number of bits written so far.
   std::size_t bit_count() const { return bit_count_; }
 
-  /// The packed buffer; the final byte is zero-padded.
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  /// The packed buffer; the final byte is zero-padded. The view is
+  /// invalidated by further writes.
+  std::span<const std::uint8_t> bytes() const { return {data(), byte_count_}; }
 
-  /// Moves the buffer out, leaving the writer empty.
+  /// Copies (inline) or moves (spilled) the buffer out as a byte vector,
+  /// leaving the writer empty.
   std::vector<std::uint8_t> take_bytes();
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  const std::uint8_t* data() const {
+    return spilled_ ? heap_.data() : inline_.data();
+  }
+  void push_byte();
+
+  std::array<std::uint8_t, kInlineCapacity> inline_{};
+  std::vector<std::uint8_t> heap_;
+  bool spilled_ = false;
+  std::size_t byte_count_ = 0;
   std::size_t bit_count_ = 0;
 };
 

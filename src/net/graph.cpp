@@ -6,10 +6,10 @@
 
 namespace sensornet::net {
 
-Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+Graph::Graph(std::size_t node_count) : staging_(node_count) {}
 
 void Graph::check_node(NodeId u) const {
-  if (u >= adjacency_.size()) {
+  if (u >= staging_.size()) {
     throw PreconditionError("Graph: node id out of range");
   }
 }
@@ -18,49 +18,85 @@ void Graph::add_edge(NodeId u, NodeId v) {
   check_node(u);
   check_node(v);
   SENSORNET_EXPECTS(u != v);
-  if (has_edge(u, v)) {
+  // Duplicate check over the smaller staged list — O(min deg), no CSR
+  // rebuild, so bulk construction stays linear in the number of edges.
+  const auto& smaller =
+      staging_[u].size() <= staging_[v].size() ? staging_[u] : staging_[v];
+  const NodeId target = staging_[u].size() <= staging_[v].size() ? v : u;
+  if (std::find(smaller.begin(), smaller.end(), target) != smaller.end()) {
     throw PreconditionError("Graph: duplicate edge");
   }
-  adjacency_[u].push_back(v);
-  adjacency_[v].push_back(u);
+  staging_[u].push_back(v);
+  staging_[v].push_back(u);
   ++edge_count_;
+  csr_stale_ = true;
+}
+
+void Graph::finalize() const {
+  const std::size_t n = staging_.size();
+  offsets_.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    offsets_[u + 1] =
+        offsets_[u] + static_cast<std::uint32_t>(staging_[u].size());
+  }
+  csr_.resize(2 * edge_count_);
+  for (std::size_t u = 0; u < n; ++u) {
+    std::copy(staging_[u].begin(), staging_[u].end(),
+              csr_.begin() + offsets_[u]);
+    std::sort(csr_.begin() + offsets_[u], csr_.begin() + offsets_[u + 1]);
+  }
+  csr_stale_ = false;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
   check_node(u);
   check_node(v);
-  const auto& smaller =
-      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
-  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
-  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+  if (csr_stale_) finalize();
+  const bool u_smaller =
+      offsets_[u + 1] - offsets_[u] <= offsets_[v + 1] - offsets_[v];
+  const NodeId probe = u_smaller ? u : v;
+  const NodeId target = u_smaller ? v : u;
+  const NodeId* first = csr_.data() + offsets_[probe];
+  const NodeId* last = csr_.data() + offsets_[probe + 1];
+  // Tiny ranges (the common case on mesh deployments): one contiguous scan
+  // beats binary-search branching.
+  if (last - first <= 16) {
+    for (const NodeId* p = first; p != last; ++p) {
+      if (*p == target) return true;
+    }
+    return false;
+  }
+  return std::binary_search(first, last, target);
 }
 
 std::size_t Graph::degree(NodeId u) const {
   check_node(u);
-  return adjacency_[u].size();
+  return staging_[u].size();
 }
 
 std::size_t Graph::max_degree() const {
   std::size_t best = 0;
-  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  for (const auto& adj : staging_) best = std::max(best, adj.size());
   return best;
 }
 
-const std::vector<NodeId>& Graph::neighbors(NodeId u) const {
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
   check_node(u);
-  return adjacency_[u];
+  if (csr_stale_) finalize();
+  return {csr_.data() + offsets_[u], csr_.data() + offsets_[u + 1]};
 }
 
 bool Graph::connected() const {
-  if (adjacency_.empty()) return true;
-  std::vector<bool> seen(adjacency_.size(), false);
+  if (staging_.empty()) return true;
+  if (csr_stale_) finalize();
+  std::vector<bool> seen(staging_.size(), false);
   std::vector<NodeId> stack{0};
   seen[0] = true;
   std::size_t visited = 1;
   while (!stack.empty()) {
     const NodeId u = stack.back();
     stack.pop_back();
-    for (const NodeId v : adjacency_[u]) {
+    for (const NodeId v : neighbors(u)) {
       if (!seen[v]) {
         seen[v] = true;
         ++visited;
@@ -68,7 +104,7 @@ bool Graph::connected() const {
       }
     }
   }
-  return visited == adjacency_.size();
+  return visited == staging_.size();
 }
 
 }  // namespace sensornet::net

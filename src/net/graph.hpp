@@ -2,14 +2,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/types.hpp"
 
 namespace sensornet::net {
 
-/// Simple undirected graph over nodes 0..n-1 with adjacency lists.
-/// Parallel edges and self-loops are rejected.
+/// Simple undirected graph over nodes 0..n-1. Parallel edges and self-loops
+/// are rejected.
+///
+/// Edges are staged into per-node adjacency lists as they are added; the
+/// first query (`neighbors`, `has_edge`, `connected`) lazily compacts them
+/// into a CSR (compressed sparse row) image with each neighbor range sorted
+/// ascending. The simulator's hot path then gets O(log deg) edge membership
+/// tests (binary search within one range) and contiguous, cache-friendly
+/// neighbor scans instead of pointer-chasing a vector-of-vectors. Adding an
+/// edge after a query simply marks the CSR stale; it is rebuilt on the next
+/// query. Not thread-safe (the lazy rebuild mutates shared state).
 class Graph {
  public:
   explicit Graph(std::size_t node_count);
@@ -18,25 +29,36 @@ class Graph {
   /// or duplicate edge.
   void add_edge(NodeId u, NodeId v);
 
-  /// True if {u, v} is an edge.
+  /// True if {u, v} is an edge. O(log deg) over the sorted CSR range of the
+  /// lower-degree endpoint.
   bool has_edge(NodeId u, NodeId v) const;
 
-  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t node_count() const { return staging_.size(); }
   std::size_t edge_count() const { return edge_count_; }
   std::size_t degree(NodeId u) const;
   std::size_t max_degree() const;
 
-  /// Neighbors of u in insertion order.
-  const std::vector<NodeId>& neighbors(NodeId u) const;
+  /// Neighbors of u, sorted ascending, as one contiguous CSR slice. The
+  /// span is invalidated by any later add_edge (the next query rebuilds
+  /// the CSR image it points into) — don't hold it across mutations.
+  std::span<const NodeId> neighbors(NodeId u) const;
 
   /// True if every node is reachable from node 0 (or graph is empty).
   bool connected() const;
 
  private:
   void check_node(NodeId u) const;
+  /// Compacts the staged adjacency lists into the sorted CSR image.
+  void finalize() const;
 
-  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::vector<NodeId>> staging_;  // insertion-order build lists
   std::size_t edge_count_ = 0;
+
+  // Lazily derived CSR image: neighbors of u live in
+  // csr_[offsets_[u] .. offsets_[u + 1]), sorted ascending.
+  mutable std::vector<std::uint32_t> offsets_;
+  mutable std::vector<NodeId> csr_;
+  mutable bool csr_stale_ = true;
 };
 
 }  // namespace sensornet::net

@@ -91,12 +91,17 @@ MultipathResult multipath_loglog_sweep(sim::Network& net, NodeId root,
   for (std::uint32_t d = max_ring; d >= 1; --d) {
     for (NodeId u = 0; u < n; ++u) {
       if (ring[u] != d) continue;
+      // Encode this node's registers once (exact wire size known up front),
+      // then fan the shared slab out to every downhill neighbor.
+      BitWriter w;
+      w.reserve(state[u].wire_bits());
+      state[u].encode(w);
+      const auto bits = static_cast<std::uint32_t>(w.bit_count());
+      const sim::Payload slab(w.bytes().data(), w.bytes().size());
       for (const NodeId v : net.graph().neighbors(u)) {
         if (ring[v] != d - 1) continue;
-        BitWriter w;
-        state[u].encode(w);
-        net.send(sim::Message::make(u, v, /*session=*/0x5000 + d,
-                                    /*kind=*/1, std::move(w)));
+        net.send(sim::Message::with_payload(u, v, /*session=*/0x5000 + d,
+                                            /*kind=*/1, slab, bits));
       }
     }
     net.run(handler);

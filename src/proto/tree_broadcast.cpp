@@ -13,9 +13,9 @@ TreeBroadcast::TreeBroadcast(const net::SpanningTree& tree,
 void TreeBroadcast::execute(sim::Network& net, BitWriter&& payload) {
   SENSORNET_EXPECTS(net.node_count() == tree_.node_count());
   const auto bits = static_cast<std::uint32_t>(payload.bit_count());
-  const std::vector<std::uint8_t> bytes = payload.take_bytes();
-  apply_(net, tree_.root, BitReader(bytes.data(), bits));
-  forward(net, tree_.root, bytes, bits);
+  const sim::Payload slab(payload.bytes().data(), payload.bytes().size());
+  apply_(net, tree_.root, BitReader(slab.data(), bits));
+  forward(net, tree_.root, slab, bits);
   net.run(*this);
 }
 
@@ -29,17 +29,11 @@ void TreeBroadcast::on_message(sim::Network& net, NodeId receiver,
 }
 
 void TreeBroadcast::forward(sim::Network& net, NodeId node,
-                            const std::vector<std::uint8_t>& payload,
+                            const sim::Payload& payload,
                             std::uint32_t payload_bits) {
   for (const NodeId child : tree_.children[node]) {
-    sim::Message m;
-    m.from = node;
-    m.to = child;
-    m.session = session_;
-    m.kind = kBroadcastKind;
-    m.payload = payload;
-    m.payload_bits = payload_bits;
-    net.send(std::move(m));
+    net.send(sim::Message::with_payload(node, child, session_, kBroadcastKind,
+                                        payload, payload_bits));
   }
 }
 

@@ -32,8 +32,9 @@ class TreeBroadcast final : public sim::ProtocolHandler {
  private:
   static constexpr std::uint16_t kBroadcastKind = 3;
 
-  void forward(sim::Network& net, NodeId node,
-               const std::vector<std::uint8_t>& payload,
+  /// Forwards one shared payload slab to every child — the fan-out copies
+  /// only bump a refcount.
+  void forward(sim::Network& net, NodeId node, const sim::Payload& payload,
                std::uint32_t payload_bits);
 
   const net::SpanningTree& tree_;

@@ -109,11 +109,15 @@ class TreeWave final : public sim::ProtocolHandler {
       finish_node(net, node);
       return;
     }
+    // Encode the request once; every child gets a refcounted view of the
+    // same payload slab (identical wire bits, no per-child re-encode).
+    BitWriter w;
+    A::encode_request(w, *st.request);
+    const auto bits = static_cast<std::uint32_t>(w.bit_count());
+    const sim::Payload slab(w.bytes().data(), w.bytes().size());
     for (const NodeId child : children) {
-      BitWriter w;
-      A::encode_request(w, *st.request);
-      net.send(sim::Message::make(node, child, session_, kRequestKind,
-                                  std::move(w)));
+      net.send(sim::Message::with_payload(node, child, session_, kRequestKind,
+                                          slab, bits));
     }
   }
 

@@ -29,6 +29,9 @@ struct NodeCommStats {
   }
 
   NodeCommStats& operator+=(const NodeCommStats& other);
+
+  /// Field-wise equality — determinism tests compare whole runs with it.
+  bool operator==(const NodeCommStats&) const = default;
 };
 
 /// Whole-run reduction over all nodes.

@@ -8,11 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <utility>
-#include <vector>
 
 #include "src/common/bitio.hpp"
 #include "src/common/types.hpp"
+#include "src/sim/payload.hpp"
 
 namespace sensornet::sim {
 
@@ -28,19 +27,30 @@ struct Message {
   std::uint32_t session = 0;
   /// Protocol-defined opcode.
   std::uint16_t kind = 0;
-  std::vector<std::uint8_t> payload;
+  /// Immutable payload slab; copying a Message shares it by refcount.
+  Payload payload;
   std::uint32_t payload_bits = 0;
 
   /// Builds a message from a BitWriter, capturing the exact bit length.
   static Message make(NodeId from, NodeId to, std::uint32_t session,
                       std::uint16_t kind, BitWriter&& w) {
+    const auto bits = static_cast<std::uint32_t>(w.bit_count());
+    return with_payload(from, to, session, kind,
+                        Payload(w.bytes().data(), w.bytes().size()), bits);
+  }
+
+  /// Builds a message around an existing payload slab — the allocation-free
+  /// path for protocols that fan one payload out to several destinations.
+  static Message with_payload(NodeId from, NodeId to, std::uint32_t session,
+                              std::uint16_t kind, Payload payload,
+                              std::uint32_t payload_bits) {
     Message m;
     m.from = from;
     m.to = to;
     m.session = session;
     m.kind = kind;
-    m.payload_bits = static_cast<std::uint32_t>(w.bit_count());
-    m.payload = w.take_bytes();
+    m.payload = std::move(payload);
+    m.payload_bits = payload_bits;
     return m;
   }
 

@@ -51,10 +51,48 @@ void Network::charge_receive(NodeId node, const Message& msg) {
   st.messages_received += 1;
 }
 
+void Network::note_in_flight_high_water() {
+  const std::size_t footprint = in_flight_payload_bytes_ + slot_store_bytes_;
+  if (footprint > peak_in_flight_bytes_) peak_in_flight_bytes_ = footprint;
+}
+
 void Network::schedule(Message msg, NodeId to) {
   msg.to = to;
-  in_flight_.push_back(std::move(msg));
-  queue_.push(PendingDelivery{now_ + 1, seq_++, in_flight_.size() - 1});
+  const SimTime due = now_ + 1;
+  if (pending_ == 0) {
+    // Fresh round: everything scheduled from quiescence lands together.
+    round_now_.clear();
+    round_next_.clear();
+    cursor_ = 0;
+    round_time_ = due;
+  }
+  // Unit delay means a send targets the round being drained... never — a
+  // handler runs at now_ == round_time_, so its sends land one tick later.
+  // Sends from quiescent state extend the freshly opened round.
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(msg);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(msg));
+    slot_store_bytes_ = slots_.capacity() * sizeof(Message);
+  }
+  const Message& queued = slots_[slot];
+  if (queued.payload.size_bytes() > Payload::kInlineBytes) {
+    // Shared slabs are counted once per queued reference; inline payloads
+    // are part of the slot footprint already.
+    in_flight_payload_bytes_ += queued.payload.size_bytes();
+  }
+  if (due == round_time_) {
+    round_now_.push_back(slot);
+  } else {
+    SENSORNET_EXPECTS(due == round_time_ + 1);
+    round_next_.push_back(slot);
+  }
+  ++pending_;
+  note_in_flight_high_water();
 }
 
 void Network::set_message_loss(double p) {
@@ -83,39 +121,56 @@ void Network::send(Message msg) {
 
 void Network::send_medium(Message msg) {
   SENSORNET_EXPECTS(msg.from < node_count());
-  // The radio transmits once; every other node's receiver pays.
+  // Single-hop check: with self-loops and parallel edges rejected, degree
+  // n-1 is equivalent to "linked to everyone" — one O(1) test instead of a
+  // per-receiver edge probe.
+  if (graph_.degree(msg.from) + 1 != node_count()) {
+    throw ProtocolError("send_medium: deployment is not single-hop");
+  }
+  // The radio transmits once; every other node's receiver pays. Every
+  // scheduled copy shares msg's payload slab by refcount.
   charge_send(msg.from, msg);
   for (NodeId u = 0; u < node_count(); ++u) {
     if (u == msg.from) continue;
-    if (!graph_.has_edge(msg.from, u)) {
-      throw ProtocolError("send_medium: deployment is not single-hop");
-    }
     // Loss is per receiver: fading is independent at each radio.
     if (loss_probability_ > 0.0 && loss_rng_.next_bool(loss_probability_)) {
       continue;
     }
     charge_receive(u, msg);
-    Message copy = msg;
-    schedule(std::move(copy), u);
+    schedule(msg, u);  // copy shares the payload slab
   }
 }
 
 void Network::run(ProtocolHandler& handler, std::uint64_t max_deliveries) {
   std::uint64_t delivered = 0;
-  while (!queue_.empty()) {
-    const PendingDelivery next = queue_.top();
-    queue_.pop();
-    now_ = next.at;
-    // Move the message out; in_flight_ entries are single-use.
-    Message msg = std::move(in_flight_[next.msg_index]);
-    handler.on_message(*this, msg.to, msg);
-    if (++delivered > max_deliveries) {
+  while (pending_ > 0) {
+    if (cursor_ == round_now_.size()) {
+      // Current round drained: the filling round becomes the draining one.
+      round_now_.clear();
+      cursor_ = 0;
+      round_now_.swap(round_next_);
+      ++round_time_;
+      continue;
+    }
+    if (delivered == max_deliveries) {
       throw ProtocolError("run: delivery budget exceeded (runaway protocol?)");
     }
+    ++delivered;
+    const std::uint32_t slot = round_now_[cursor_++];
+    now_ = round_time_;
+    // Move the message out before dispatch: the handler may send, growing
+    // slots_, which would invalidate a reference into it.
+    Message msg = std::move(slots_[slot]);
+    if (msg.payload.size_bytes() > Payload::kInlineBytes) {
+      in_flight_payload_bytes_ -= msg.payload.size_bytes();
+    }
+    free_slots_.push_back(slot);
+    --pending_;
+    handler.on_message(*this, msg.to, msg);
   }
-  // Queue drained: reclaim message storage.
-  in_flight_.clear();
-  seq_ = 0;
+  round_now_.clear();
+  round_next_.clear();
+  cursor_ = 0;
 }
 
 const NodeCommStats& Network::stats(NodeId node) const {
@@ -134,6 +189,7 @@ void Network::reset_accounting() {
   for (auto& st : stats_) st = NodeCommStats{};
   now_ = 0;
   watched_bits_ = 0;
+  peak_in_flight_bytes_ = 0;
 }
 
 }  // namespace sensornet::sim

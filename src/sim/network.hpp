@@ -4,10 +4,16 @@
 // bit-exact per-node accounting. Protocols are state machines driven by
 // `on_message` callbacks; the root-side orchestrators inject the first
 // message(s) and call run() to quiescence.
+//
+// Hot-path architecture: because every delivery is scheduled exactly one
+// tick ahead, the event queue is a two-bucket calendar — one bucket of slot
+// indices for the round being drained, one for the round being filled — with
+// message slots recycled through a free list. Delivery order is (time, send
+// order), identical to a (time, seq) priority queue but with O(1) push/pop
+// and no per-run storage growth.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "src/common/rng.hpp"
@@ -66,12 +72,14 @@ class Network {
 
   /// Shared-medium broadcast: every other node receives the message at
   /// now()+1. Only meaningful on single-hop (complete) deployments; the
-  /// sender pays the bits once, every receiver pays them too.
+  /// sender pays the bits once, every receiver pays them too. All receivers
+  /// share one payload slab — the broadcast costs no per-receiver copies.
   void send_medium(Message msg);
 
   /// Drains the event queue, dispatching each delivery to `handler`.
-  /// Throws ProtocolError if more than `max_deliveries` messages are
-  /// processed (runaway-protocol guard).
+  /// Throws ProtocolError before dispatching the (max_deliveries + 1)-th
+  /// message (runaway-protocol guard): at most `max_deliveries` messages
+  /// ever reach `handler`.
   void run(ProtocolHandler& handler, std::uint64_t max_deliveries = 1ULL << 32);
 
   SimTime now() const { return now_; }
@@ -89,6 +97,13 @@ class Network {
   /// Payload bits that crossed the watched edge so far.
   std::uint64_t watched_edge_bits() const { return watched_bits_; }
 
+  /// High-water mark of simulator memory committed to undelivered messages:
+  /// out-of-line payload bytes referenced by queued messages (a shared slab
+  /// counts once per reference — an upper bound) plus the message-slot array
+  /// footprint. The perf harness tracks this to keep queue memory bounded by
+  /// per-round traffic instead of whole-run traffic.
+  std::size_t peak_in_flight_bytes() const { return peak_in_flight_bytes_; }
+
   /// Clears stats and the clock (keeps items and RNG streams).
   void reset_accounting();
 
@@ -98,20 +113,10 @@ class Network {
   }
 
  private:
-  struct PendingDelivery {
-    SimTime at;
-    std::uint64_t seq;  // FIFO tie-break for determinism
-    std::size_t msg_index;
-  };
-  struct DeliveryOrder {
-    bool operator()(const PendingDelivery& a, const PendingDelivery& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
-
   void charge_send(NodeId node, const Message& msg);
   void charge_receive(NodeId node, const Message& msg);
   void schedule(Message msg, NodeId to);
+  void note_in_flight_high_water();
 
   net::Graph graph_;
   std::vector<ValueSet> items_;
@@ -119,12 +124,24 @@ class Network {
   Xoshiro256 loss_rng_{0x10c5};
   double loss_probability_ = 0.0;
   std::vector<NodeCommStats> stats_;
-  std::vector<Message> in_flight_;  // storage for queued messages
-  std::priority_queue<PendingDelivery, std::vector<PendingDelivery>,
-                      DeliveryOrder>
-      queue_;
+
+  // Calendar queue: slots_ stores queued messages; round_now_ / round_next_
+  // hold slot indices due at round_time_ / round_time_ + 1, in send order.
+  // Delivered slots return to free_slots_ for reuse, so steady-state runs
+  // stop touching the allocator entirely.
+  std::vector<Message> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> round_now_;
+  std::vector<std::uint32_t> round_next_;
+  SimTime round_time_ = 0;   // delivery time of round_now_ entries
+  std::size_t cursor_ = 0;   // drain position within round_now_
+  std::uint64_t pending_ = 0;  // undelivered messages across both rounds
+
+  std::size_t in_flight_payload_bytes_ = 0;
+  std::size_t slot_store_bytes_ = 0;  // slots_.capacity() * sizeof(Message)
+  std::size_t peak_in_flight_bytes_ = 0;
+
   SimTime now_ = 0;
-  std::uint64_t seq_ = 0;
   NodeId watch_u_ = kNoNode;
   NodeId watch_v_ = kNoNode;
   std::uint64_t watched_bits_ = 0;

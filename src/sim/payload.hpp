@@ -1,0 +1,103 @@
+// Immutable, shareable message payload storage.
+//
+// The simulator's hot path moves the same bytes many times — a shared-medium
+// broadcast hands one payload to N-1 receivers, a tree broadcast forwards it
+// to every child — so payloads are immutable slabs shared by reference count
+// instead of deep-copied vectors. Payloads of at most kInlineBytes live
+// entirely inside the Payload object (no allocation at all: the common case,
+// since most protocol messages are a few dozen bits); larger ones live in a
+// single heap slab whose refcount is a plain (non-atomic) counter — the
+// simulator is single-threaded by design.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+namespace sensornet::sim {
+
+class Payload {
+ public:
+  /// Payloads at or below this size are stored inline, allocation-free.
+  static constexpr std::uint32_t kInlineBytes = 16;
+
+  Payload() = default;
+
+  /// Copies `n` bytes into inline storage or one freshly allocated slab.
+  Payload(const std::uint8_t* bytes, std::size_t n)
+      : size_(static_cast<std::uint32_t>(n)) {
+    if (n == 0) return;
+    std::uint8_t* dst;
+    if (n <= kInlineBytes) {
+      dst = inline_.data();
+    } else {
+      // One allocation holds the refcount and the bytes: refcount in
+      // slab_[0], payload bytes starting at slab_ + 1.
+      slab_ = new std::uint32_t[1 + (n + sizeof(std::uint32_t) - 1) /
+                                        sizeof(std::uint32_t)];
+      slab_[0] = 1;
+      dst = reinterpret_cast<std::uint8_t*>(slab_ + 1);
+    }
+    std::memcpy(dst, bytes, n);
+  }
+
+  Payload(const Payload& other)
+      : slab_(other.slab_), size_(other.size_), inline_(other.inline_) {
+    if (slab_ != nullptr) ++slab_[0];
+  }
+
+  Payload(Payload&& other) noexcept
+      : slab_(std::exchange(other.slab_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        inline_(other.inline_) {}
+
+  Payload& operator=(const Payload& other) {
+    if (this != &other) {
+      Payload copy(other);
+      swap(copy);
+    }
+    return *this;
+  }
+
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      release();
+      slab_ = std::exchange(other.slab_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      inline_ = other.inline_;
+    }
+    return *this;
+  }
+
+  ~Payload() { release(); }
+
+  const std::uint8_t* data() const {
+    return slab_ != nullptr ? reinterpret_cast<const std::uint8_t*>(slab_ + 1)
+                            : inline_.data();
+  }
+  std::uint32_t size_bytes() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// How many Payload objects currently share the backing storage (1 for
+  /// inline or empty payloads). Exposed for tests and the perf driver.
+  std::uint32_t share_count() const { return slab_ != nullptr ? slab_[0] : 1; }
+
+  void swap(Payload& other) noexcept {
+    std::swap(slab_, other.slab_);
+    std::swap(size_, other.size_);
+    std::swap(inline_, other.inline_);
+  }
+
+ private:
+  void release() {
+    if (slab_ != nullptr && --slab_[0] == 0) delete[] slab_;
+    slab_ = nullptr;
+  }
+
+  std::uint32_t* slab_ = nullptr;  // [0] = refcount, bytes follow
+  std::uint32_t size_ = 0;
+  std::array<std::uint8_t, kInlineBytes> inline_{};
+};
+
+}  // namespace sensornet::sim

@@ -90,6 +90,47 @@ TEST(BitIo, TakeBytesResets) {
   EXPECT_EQ(w.bit_count(), 0u);
 }
 
+TEST(BitIo, WriterSpillsPastInlineCapacity) {
+  // Cross the inline-buffer boundary and keep writing; the byte image must
+  // be seamless across the spill to the heap.
+  BitWriter w;
+  const std::size_t total = BitWriter::kInlineCapacity + 24;
+  for (std::size_t i = 0; i < total; ++i) {
+    w.write_bits(i & 0xFF, 8);
+  }
+  EXPECT_EQ(w.bit_count(), total * 8);
+  ASSERT_EQ(w.bytes().size(), total);
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(w.bytes()[i], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(BitIo, TakeBytesResetsAfterSpill) {
+  BitWriter w;
+  for (std::size_t i = 0; i < BitWriter::kInlineCapacity + 4; ++i) {
+    w.write_bits(0xEE, 8);
+  }
+  const auto bytes = w.take_bytes();
+  EXPECT_EQ(bytes.size(), BitWriter::kInlineCapacity + 4);
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+  w.write_bits(0x5, 3);  // writer is reusable from a clean slate
+  EXPECT_EQ(w.bit_count(), 3u);
+  EXPECT_EQ(w.bytes()[0], 0xA0);
+}
+
+TEST(BitIo, ReservePreservesContentAndBitCount) {
+  BitWriter w;
+  w.write_bits(0xAB, 8);
+  w.reserve(64 * 8);
+  EXPECT_EQ(w.bit_count(), 8u);
+  EXPECT_EQ(w.bytes()[0], 0xAB);
+  for (int i = 0; i < 64; ++i) w.write_bits(0xCD, 8);
+  EXPECT_EQ(w.bit_count(), 8u + 64 * 8);
+  EXPECT_EQ(w.bytes()[0], 0xAB);
+  EXPECT_EQ(w.bytes()[64], 0xCD);
+}
+
 TEST(BitIo, RandomizedRoundTrip) {
   Xoshiro256 rng(42);
   for (int trial = 0; trial < 200; ++trial) {

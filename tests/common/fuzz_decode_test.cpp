@@ -86,7 +86,8 @@ TEST(FuzzDecode, BitFlippedValidPayloadsStaySafe) {
   const auto summary = baseline::QuantileSummary::from_items(xs);
   BitWriter w;
   summary.encode(w);
-  const auto baseline_bytes = w.bytes();
+  const std::vector<std::uint8_t> baseline_bytes(w.bytes().begin(),
+                                                 w.bytes().end());
   const std::size_t bits = w.bit_count();
   for (std::size_t flip = 0; flip < bits; ++flip) {
     auto corrupted = baseline_bytes;

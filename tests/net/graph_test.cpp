@@ -54,10 +54,53 @@ TEST(Graph, NeighborsListed) {
   Graph g(4);
   g.add_edge(0, 2);
   g.add_edge(0, 3);
-  const auto& nb = g.neighbors(0);
+  const auto nb = g.neighbors(0);
   ASSERT_EQ(nb.size(), 2u);
   EXPECT_EQ(nb[0], 2u);
   EXPECT_EQ(nb[1], 3u);
+}
+
+TEST(Graph, NeighborsSortedRegardlessOfInsertionOrder) {
+  Graph g(5);
+  g.add_edge(3, 4);
+  g.add_edge(3, 0);
+  g.add_edge(3, 2);
+  g.add_edge(3, 1);
+  const auto nb = g.neighbors(3);
+  const std::vector<NodeId> expected{0, 1, 2, 4};
+  ASSERT_EQ(nb.size(), expected.size());
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    EXPECT_EQ(nb[i], expected[i]);
+  }
+}
+
+TEST(Graph, EdgeAddsInterleavedWithQueriesStayConsistent) {
+  // Queries compact the staged edges into the CSR image; later add_edge
+  // calls must invalidate and rebuild it.
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.connected());
+  g.add_edge(2, 1);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  const auto nb = g.neighbors(1);
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 2u);
+  g.add_edge(3, 2);
+  EXPECT_TRUE(g.connected());
+  EXPECT_THROW(g.add_edge(1, 2), PreconditionError);  // still a duplicate
+}
+
+TEST(Graph, HasEdgeOnHighDegreeNode) {
+  // Degree above the linear-scan cutoff exercises the binary-search path.
+  Graph g(64);
+  for (NodeId v = 1; v < 64; v += 2) g.add_edge(0, v);
+  for (NodeId v = 1; v < 64; ++v) {
+    EXPECT_EQ(g.has_edge(0, v), v % 2 == 1);
+    EXPECT_EQ(g.has_edge(v, 0), v % 2 == 1);
+  }
+  EXPECT_FALSE(g.has_edge(3, 5));
 }
 
 }  // namespace

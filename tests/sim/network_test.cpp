@@ -159,6 +159,41 @@ TEST(Network, DeliveryBudgetGuardsRunaways) {
   EXPECT_THROW(net.run(handler, /*max_deliveries=*/100), ProtocolError);
 }
 
+TEST(Network, DeliveryBudgetEnforcedBeforeDispatch) {
+  Network net(net::make_complete(4), 1);
+  net.send(one_bit_message(0, 1, 1));
+  net.send(one_bit_message(0, 2, 2));
+  net.send(one_bit_message(0, 3, 3));
+  Recorder rec;
+  // Budget 2, three queued: the guard must fire BEFORE the third dispatch —
+  // the handler sees exactly max_deliveries messages, never one more.
+  EXPECT_THROW(net.run(rec, /*max_deliveries=*/2), ProtocolError);
+  ASSERT_EQ(rec.deliveries.size(), 2u);
+  EXPECT_EQ(rec.deliveries[0].kind, 1u);
+  EXPECT_EQ(rec.deliveries[1].kind, 2u);
+}
+
+TEST(Network, DeliveryBudgetExactlyMetSucceeds) {
+  Network net(net::make_complete(3), 1);
+  net.send(one_bit_message(0, 1, 1));
+  net.send(one_bit_message(0, 2, 2));
+  Recorder rec;
+  EXPECT_NO_THROW(net.run(rec, /*max_deliveries=*/2));
+  EXPECT_EQ(rec.deliveries.size(), 2u);
+}
+
+TEST(Network, PeakInFlightBytesIsTracked) {
+  Network net(net::make_line(2), 1);
+  BitWriter w;
+  for (int i = 0; i < 5; ++i) w.write_bits(0xFFFFFFFFFFFFFFFFULL, 64);
+  net.send(Message::make(0, 1, 0, 1, std::move(w)));  // 40-byte heap slab
+  Recorder rec;
+  net.run(rec);
+  EXPECT_GE(net.peak_in_flight_bytes(), 40u + sizeof(Message));
+  net.reset_accounting();
+  EXPECT_EQ(net.peak_in_flight_bytes(), 0u);
+}
+
 TEST(Network, WatchedEdgeCountsBothDirections) {
   Network net(net::make_line(3), 1);
   net.watch_edge(1, 2);
