@@ -13,7 +13,7 @@
 #include "src/common/mathutil.hpp"
 #include "src/proto/approx_counting.hpp"
 #include "src/proto/counting_service.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 #include "util/experiment.hpp"
 #include "util/table.hpp"
 
@@ -110,12 +110,11 @@ void estimator_table() {
     constexpr int kTrials = 30;
     constexpr std::uint64_t kTruth = 4096;
     for (int t = 0; t < kTrials; ++t) {
-      sketch::RegisterArray regs(64, 6);
+      auto regs = sketch::Hll::make_by_registers(64).value();
       for (std::uint64_t i = 0; i < kTruth; ++i) {
-        sketch::observe_random(regs, rng);
+        regs.add_random(rng);
       }
-      const double est = hll ? sketch::hyperloglog_estimate(regs)
-                             : sketch::loglog_estimate(regs);
+      const double est = hll ? regs.estimate() : regs.estimate_loglog();
       const double rel = est / static_cast<double>(kTruth) - 1.0;
       sum += rel;
       sq += rel * rel;

@@ -2,11 +2,23 @@
 // linearly in the distinct count (and the constructive 2SD reduction's cut
 // bits grow linearly in n), while hashed-LogLog approximation is flat in D
 // and lands within (1 +- 3.15/k) of the truth with ~99% probability.
+// With --out PATH (optionally --json-only) it additionally emits
+// BENCH_PR6.json: bits-on-the-wire per precision for the sketch layer
+// (legacy flat register image vs sketch::Hll sparse/dense v1 wire format)
+// and dense-merge throughput per packed width — the PR-6 acceptance
+// numbers, consumed by the CI bench-smoke lane.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "src/core/count_distinct.hpp"
 #include "src/core/disjointness.hpp"
+#include "src/sketch/hll.hpp"
+#include "src/sketch/registers.hpp"
 #include "util/experiment.hpp"
 #include "util/table.hpp"
 
@@ -102,6 +114,152 @@ void reduction_table() {
                "cut that Theorem 5.1's reduction forces.)\n\n";
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_PR6.json: sketch-layer wire cost + dense-merge throughput.
+// ---------------------------------------------------------------------------
+
+struct WireRow {
+  unsigned precision = 0;
+  unsigned m = 0;
+  unsigned width = 0;
+  std::uint64_t legacy_flat_bits = 0;   // the pre-Hll m*w register image
+  std::uint64_t hll_dense_bits = 0;     // v1 header + packed dense body
+  std::uint64_t hll_sparse_bits = 0;    // v1 image of an 8-distinct-item leaf
+  double sparse_vs_legacy = 0.0;        // hll_sparse / legacy_flat
+  double mean_abs_rel_err = 0.0;        // estimate quality at this precision
+};
+
+WireRow measure_wire(unsigned precision, int trials) {
+  using sketch::Hll;
+  WireRow row;
+  row.precision = precision;
+  row.m = 1u << precision;
+  row.width = 6;
+  row.legacy_flat_bits = static_cast<std::uint64_t>(row.m) * row.width;
+
+  // Low-cardinality leaf: 8 distinct items, the regime sparse exists for.
+  Hll leaf = Hll::make_by_registers(row.m).value();
+  for (std::uint64_t v = 0; v < 8; ++v) leaf.add(v, 1);
+  row.hll_sparse_bits = leaf.wire_bits();
+  row.sparse_vs_legacy = static_cast<double>(row.hll_sparse_bits) /
+                         static_cast<double>(row.legacy_flat_bits);
+
+  // Saturated aggregate: the dense image every inner node converges to.
+  constexpr std::uint64_t kTruth = 60000;
+  double err_sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    Hll full = Hll::make_by_registers(row.m).value();
+    for (std::uint64_t v = 0; v < kTruth; ++v) {
+      full.add(v, 100 + static_cast<std::uint64_t>(t));
+    }
+    row.hll_dense_bits = full.wire_bits();
+    err_sum += std::abs(full.estimate() / static_cast<double>(kTruth) - 1.0);
+  }
+  row.mean_abs_rel_err = err_sum / trials;
+  return row;
+}
+
+struct MergeRow {
+  unsigned m = 0;
+  unsigned width = 0;
+  double ns_per_merge = 0.0;
+  double ns_per_merge_legacy = 0.0;  // byte-per-register elementwise loop
+  double speedup = 0.0;
+};
+
+MergeRow measure_dense_merge(unsigned m, unsigned width, int iters) {
+  using Clock = std::chrono::steady_clock;
+  using sketch::Hll;
+  MergeRow row;
+  row.m = m;
+  row.width = width;
+  Xoshiro256 rng(97);
+  Hll a = Hll::make_by_registers(m, {.width = width, .sparse = false}).value();
+  Hll b = Hll::make_by_registers(m, {.width = width, .sparse = false}).value();
+  sketch::RegisterArray la(m, width);
+  sketch::RegisterArray lb(m, width);
+  for (unsigned i = 0; i < 4 * m; ++i) {
+    const auto oa = sketch::random_observation(m, rng);
+    a.observe(oa.bucket, oa.rank);
+    la.observe(oa.bucket, oa.rank);
+    const auto ob = sketch::random_observation(m, rng);
+    b.observe(ob.bucket, ob.rank);
+    lb.observe(ob.bucket, ob.rank);
+  }
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (!a.merge(b).ok()) return row;
+  }
+  const auto t1 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    la.merge(lb);
+  }
+  const auto t2 = Clock::now();
+  const auto ns = [](auto d) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  };
+  row.ns_per_merge = ns(t1 - t0) / iters;
+  row.ns_per_merge_legacy = ns(t2 - t1) / iters;
+  row.speedup = row.ns_per_merge > 0
+                    ? row.ns_per_merge_legacy / row.ns_per_merge
+                    : 0.0;
+  return row;
+}
+
+void write_bench_json(const std::string& path) {
+  std::vector<WireRow> wire;
+  for (const unsigned p : {4u, 6u, 8u, 10u}) {
+    wire.push_back(measure_wire(p, /*trials=*/5));
+  }
+  std::vector<MergeRow> merges;
+  for (const unsigned w : {4u, 5u, 6u, 8u}) {
+    merges.push_back(measure_dense_merge(1024, w, /*iters=*/20000));
+  }
+
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"BENCH_PR6\",\n  \"schema_version\": 1,\n";
+  out << "  \"wire\": [\n";
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const auto& r = wire[i];
+    out << "    {\n"
+        << "      \"precision\": " << r.precision << ",\n"
+        << "      \"registers\": " << r.m << ",\n"
+        << "      \"width\": " << r.width << ",\n"
+        << "      \"legacy_flat_bits\": " << r.legacy_flat_bits << ",\n"
+        << "      \"hll_dense_bits\": " << r.hll_dense_bits << ",\n"
+        << "      \"hll_sparse_bits_8_items\": " << r.hll_sparse_bits << ",\n"
+        << "      \"sparse_vs_legacy_ratio\": " << fmt(r.sparse_vs_legacy, 4)
+        << ",\n"
+        << "      \"mean_abs_rel_err\": " << fmt(r.mean_abs_rel_err, 4)
+        << "\n    }" << (i + 1 < wire.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"dense_merge\": [\n";
+  for (std::size_t i = 0; i < merges.size(); ++i) {
+    const auto& r = merges[i];
+    out << "    {\n"
+        << "      \"registers\": " << r.m << ",\n"
+        << "      \"width\": " << r.width << ",\n"
+        << "      \"ns_per_merge\": " << fmt(r.ns_per_merge, 2) << ",\n"
+        << "      \"ns_per_merge_legacy\": " << fmt(r.ns_per_merge_legacy, 2)
+        << ",\n"
+        << "      \"speedup\": " << fmt(r.speedup, 3) << "\n    }"
+        << (i + 1 < merges.size() ? "," : "") << "\n";
+  }
+  bool sparse_always_cheaper = true;
+  for (const auto& r : wire) {
+    if (r.hll_sparse_bits >= r.legacy_flat_bits) sparse_always_cheaper = false;
+  }
+  double min_speedup = merges.empty() ? 0.0 : merges.front().speedup;
+  for (const auto& r : merges) min_speedup = std::min(min_speedup, r.speedup);
+  out << "  ],\n  \"summary\": {\n"
+      << "    \"sparse_cheaper_than_legacy_at_low_cardinality\": "
+      << (sparse_always_cheaper ? "true" : "false") << ",\n"
+      << "    \"dense_merge_min_speedup\": " << fmt(min_speedup, 3)
+      << "\n  }\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 void run() {
   print_banner(
       "EXP-T51", "Theorem 5.1 + Section 5",
@@ -116,7 +274,21 @@ void run() {
 }  // namespace
 }  // namespace sensornet::bench
 
-int main() {
-  sensornet::bench::run();
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--json-only") {
+      json_only = true;
+    } else {
+      std::cerr << "usage: exp_count_distinct [--out PATH] [--json-only]\n";
+      return 2;
+    }
+  }
+  if (!json_only) sensornet::bench::run();
+  if (!out_path.empty()) sensornet::bench::write_bench_json(out_path);
   return 0;
 }

@@ -6,7 +6,7 @@
 #include <cstdint>
 
 #include "src/proto/approx_counting.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 #include "util/experiment.hpp"
 #include "util/table.hpp"
 
@@ -24,12 +24,11 @@ void accuracy_table() {
       double sum = 0;
       double sq = 0;
       for (int t = 0; t < kTrials; ++t) {
-        sketch::RegisterArray regs(m, 6);
+        auto regs = sketch::Hll::make_by_registers(m).value();
         for (std::uint64_t i = 0; i < kTruth; ++i) {
-          sketch::observe_random(regs, rng);
+          regs.add_random(rng);
         }
-        const double est = hll ? sketch::hyperloglog_estimate(regs)
-                               : sketch::loglog_estimate(regs);
+        const double est = hll ? regs.estimate() : regs.estimate_loglog();
         const double rel = est / static_cast<double>(kTruth) - 1.0;
         sum += rel;
         sq += rel * rel;
@@ -60,7 +59,7 @@ void wire_cost_table() {
       const auto before = d.net->all_stats();
       svc.apx_count(proto::Predicate::always_true());
       const std::uint64_t bits = window_max_node_bits(*d.net, before);
-      const unsigned w = sketch::register_width_for(n + 1);
+      const unsigned w = sketch::packed_width_for(n + 1);
       table.add_row({std::to_string(n), std::to_string(m), std::to_string(w),
                      fmt_bits(bits),
                      fmt(static_cast<double>(bits) /

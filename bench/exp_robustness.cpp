@@ -12,7 +12,7 @@
 #include "src/proto/gossip.hpp"
 #include "src/proto/multipath.hpp"
 #include "src/proto/tree_wave.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 #include "util/experiment.hpp"
 #include "util/table.hpp"
 
@@ -38,7 +38,7 @@ void loss_sweep() {
       try {
         const auto regs = wave.execute(*d.net, req);
         tree_outcome =
-            "ok (" + fmt(sketch::hyperloglog_estimate(regs), 0) + ")";
+            "ok (" + fmt(regs.estimate(), 0) + ")";
       } catch (const ProtocolError&) {
         tree_outcome = "STALLED";
       }
@@ -55,7 +55,7 @@ void loss_sweep() {
       req.registers = 128;
       req.width = 6;
       const auto res = proto::multipath_loglog_sweep(*d.net, 0, req);
-      mp_est = sketch::hyperloglog_estimate(res.registers);
+      mp_est = res.registers.estimate();
       covered = res.covered_nodes;
       mp_bits = d.net->summary().max_node_bits;
     }
@@ -106,7 +106,7 @@ void structure_cost_table() {
     req.width = 6;
     const auto res = proto::multipath_loglog_sweep(*d.net, 0, req);
     table.add_row({"multipath LogLog (Fact 2.2 + [2])", "grid", "h",
-                   fmt(sketch::hyperloglog_estimate(res.registers), 0),
+                   fmt(res.registers.estimate(), 0),
                    fmt_bits(d.net->summary().max_node_bits), "no"});
   }
   // Push-sum's round budget is the mixing time: ~O(log N) on a complete

@@ -1,64 +1,122 @@
 // Microbenchmarks: sketch update/merge/estimate throughput (google-benchmark).
+//
+// Dense merges are the aggregation hot path (every internal tree node folds
+// every child partial), so they are benchmarked per packed width against the
+// legacy byte-per-register RegisterArray::merge as the baseline the SWAR
+// word-merge has to beat.
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 #include "src/sketch/registers.hpp"
 
 namespace {
 
 using sensornet::Xoshiro256;
+using sensornet::sketch::Hll;
+using sensornet::sketch::HllOptions;
 using sensornet::sketch::RegisterArray;
 
-void BM_ObserveRandom(benchmark::State& state) {
+Hll make_dense(unsigned m, unsigned width, std::uint64_t seed,
+               unsigned observations) {
+  Hll hll =
+      Hll::make_by_registers(m, HllOptions{.width = width, .sparse = false})
+          .value();
+  Xoshiro256 rng(seed);
+  for (unsigned i = 0; i < observations; ++i) hll.add_random(rng);
+  return hll;
+}
+
+void BM_AddRandom(benchmark::State& state) {
   const auto m = static_cast<unsigned>(state.range(0));
-  RegisterArray regs(m, 6);
+  Hll hll = make_dense(m, 6, 1, 0);
   Xoshiro256 rng(1);
   for (auto _ : state) {
-    sensornet::sketch::observe_random(regs, rng);
-    benchmark::DoNotOptimize(regs);
+    hll.add_random(rng);
+    benchmark::DoNotOptimize(hll);
   }
 }
-BENCHMARK(BM_ObserveRandom)->Arg(16)->Arg(256)->Arg(1024);
+BENCHMARK(BM_AddRandom)->Arg(16)->Arg(256)->Arg(1024);
 
-void BM_ObserveHashed(benchmark::State& state) {
+void BM_AddHashed(benchmark::State& state) {
   const auto m = static_cast<unsigned>(state.range(0));
-  RegisterArray regs(m, 6);
+  Hll hll = make_dense(m, 6, 1, 0);
   std::uint64_t v = 0;
   for (auto _ : state) {
-    sensornet::sketch::observe_hashed(regs, ++v, 7);
-    benchmark::DoNotOptimize(regs);
+    hll.add(++v, 7);
+    benchmark::DoNotOptimize(hll);
   }
 }
-BENCHMARK(BM_ObserveHashed)->Arg(16)->Arg(256)->Arg(1024);
+BENCHMARK(BM_AddHashed)->Arg(16)->Arg(256)->Arg(1024);
 
-void BM_Merge(benchmark::State& state) {
+void BM_AddHashedSparse(benchmark::State& state) {
+  // Sparse insertion path on a small working set (the leaf-node regime).
+  const auto m = static_cast<unsigned>(state.range(0));
+  Hll hll = Hll::make_by_registers(m, HllOptions{.width = 6}).value();
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    hll.add(v++ % 8, 7);  // stays far below the promotion threshold
+    benchmark::DoNotOptimize(hll);
+  }
+}
+BENCHMARK(BM_AddHashedSparse)->Arg(256)->Arg(1024);
+
+void BM_MergeDense(benchmark::State& state) {
+  // The SWAR word-at-a-time fold, per packed width.
+  const auto m = static_cast<unsigned>(state.range(0));
+  const auto w = static_cast<unsigned>(state.range(1));
+  Hll a = make_dense(m, w, 2, 4 * m);
+  const Hll b = make_dense(m, w, 3, 4 * m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.merge(b).ok());
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_MergeDense)
+    ->Args({256, 4})
+    ->Args({256, 5})
+    ->Args({256, 6})
+    ->Args({256, 8})
+    ->Args({1024, 6});
+
+void BM_MergeLegacyByteRegisters(benchmark::State& state) {
+  // Baseline: the superseded byte-per-register elementwise loop.
   const auto m = static_cast<unsigned>(state.range(0));
   RegisterArray a(m, 6);
   RegisterArray b(m, 6);
   Xoshiro256 rng(2);
   for (unsigned i = 0; i < 4 * m; ++i) {
-    sensornet::sketch::observe_random(a, rng);
-    sensornet::sketch::observe_random(b, rng);
+    const auto oa = sensornet::sketch::random_observation(m, rng);
+    a.observe(oa.bucket, oa.rank);
+    const auto ob = sensornet::sketch::random_observation(m, rng);
+    b.observe(ob.bucket, ob.rank);
   }
   for (auto _ : state) {
     a.merge(b);
     benchmark::DoNotOptimize(a);
   }
 }
-BENCHMARK(BM_Merge)->Arg(16)->Arg(256)->Arg(1024);
+BENCHMARK(BM_MergeLegacyByteRegisters)->Arg(256)->Arg(1024);
+
+void BM_MergeSparseIntoDense(benchmark::State& state) {
+  const auto m = static_cast<unsigned>(state.range(0));
+  Hll a = make_dense(m, 6, 4, 4 * m);
+  Hll b = Hll::make_by_registers(m, HllOptions{.width = 6}).value();
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 6; ++i) b.add_random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.merge(b).ok());
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_MergeSparseIntoDense)->Arg(256)->Arg(1024);
 
 void BM_Estimate(benchmark::State& state) {
   const auto m = static_cast<unsigned>(state.range(0));
-  RegisterArray regs(m, 6);
-  Xoshiro256 rng(3);
-  for (unsigned i = 0; i < 64 * m; ++i) {
-    sensornet::sketch::observe_random(regs, rng);
-  }
-  const bool hll = state.range(1) != 0;
+  const Hll hll = make_dense(m, 6, 3, 64 * m);
+  const bool use_hll = state.range(1) != 0;
   for (auto _ : state) {
-    const double e = hll ? sensornet::sketch::hyperloglog_estimate(regs)
-                         : sensornet::sketch::loglog_estimate(regs);
+    const double e = use_hll ? hll.estimate() : hll.estimate_loglog();
     benchmark::DoNotOptimize(e);
   }
 }
@@ -66,20 +124,26 @@ BENCHMARK(BM_Estimate)->Args({256, 0})->Args({256, 1});
 
 void BM_EncodeDecode(benchmark::State& state) {
   const auto m = static_cast<unsigned>(state.range(0));
-  RegisterArray regs(m, 6);
+  const bool sparse = state.range(1) != 0;
+  Hll hll = Hll::make_by_registers(m, HllOptions{.width = 6}).value();
   Xoshiro256 rng(4);
-  for (unsigned i = 0; i < 4 * m; ++i) {
-    sensornet::sketch::observe_random(regs, rng);
-  }
+  // 4 observations stay sparse; 4*m saturate into dense.
+  const unsigned observations = sparse ? 4 : 4 * m;
+  for (unsigned i = 0; i < observations; ++i) hll.add_random(rng);
   for (auto _ : state) {
     sensornet::BitWriter w;
-    regs.encode(w);
+    hll.encode(w);
     sensornet::BitReader r(w.bytes().data(), w.bit_count());
-    auto back = RegisterArray::decode(r, m, 6);
+    auto back = Hll::decode(r);
     benchmark::DoNotOptimize(back);
   }
 }
-BENCHMARK(BM_EncodeDecode)->Arg(16)->Arg(256)->Arg(1024);
+BENCHMARK(BM_EncodeDecode)
+    ->Args({16, 0})
+    ->Args({256, 0})
+    ->Args({1024, 0})
+    ->Args({256, 1})
+    ->Args({1024, 1});
 
 }  // namespace
 

@@ -18,6 +18,31 @@ void BitWriter::push_byte() {
   ++byte_count_;
 }
 
+std::uint8_t* BitWriter::grow_bytes(std::size_t n) {
+  if (!spilled_ && byte_count_ + n > kInlineCapacity) {
+    heap_.assign(inline_.begin(), inline_.begin() + byte_count_);
+    spilled_ = true;
+  }
+  if (spilled_) {
+    heap_.resize(byte_count_ + n, 0);
+  }
+  // Inline bytes beyond byte_count_ are already zero (class invariant).
+  byte_count_ += n;
+  return (spilled_ ? heap_.data() : inline_.data()) + (byte_count_ - n);
+}
+
+void BitWriter::write_word(std::uint64_t value) {
+  if (bit_count_ % 8 != 0) {
+    write_bits(value, 64);
+    return;
+  }
+  std::uint8_t* out = grow_bytes(8);
+  for (unsigned i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(value >> (56 - 8 * i));
+  }
+  bit_count_ += 64;
+}
+
 void BitWriter::write_bits(std::uint64_t value, unsigned n) {
   SENSORNET_EXPECTS(n <= 64);
   // Emit MSB-first, a byte-sized chunk at a time.
@@ -91,6 +116,20 @@ std::uint64_t BitReader::read_bits(unsigned n) {
     pos_ += take;
     remaining -= take;
   }
+  return out;
+}
+
+std::uint64_t BitReader::read_word() {
+  if (pos_ % 8 != 0) return read_bits(64);
+  if (pos_ + 64 > bit_count_) {
+    throw WireFormatError("BitReader: read past end of payload");
+  }
+  const std::uint8_t* in = data_ + pos_ / 8;
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    out = (out << 8) | in[i];
+  }
+  pos_ += 64;
   return out;
 }
 

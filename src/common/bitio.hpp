@@ -31,6 +31,12 @@ class BitWriter {
   /// Appends a single bit.
   void write_bit(bool bit);
 
+  /// Appends exactly 64 bits, most significant first — equivalent to
+  /// `write_bits(value, 64)` but with a byte-granularity fast path when the
+  /// cursor is byte-aligned. Bulk encoders (packed sketch registers) emit
+  /// whole words through this.
+  void write_word(std::uint64_t value);
+
   /// Ensures capacity for `bits` more bits beyond what is already written,
   /// so a message-building loop with a known wire size never reallocates
   /// mid-encode.
@@ -52,6 +58,7 @@ class BitWriter {
     return spilled_ ? heap_.data() : inline_.data();
   }
   void push_byte();
+  std::uint8_t* grow_bytes(std::size_t n);
 
   std::array<std::uint8_t, kInlineCapacity> inline_{};
   std::vector<std::uint8_t> heap_;
@@ -73,6 +80,10 @@ class BitReader {
 
   /// Reads a single bit.
   bool read_bit();
+
+  /// Reads exactly 64 bits — equivalent to `read_bits(64)` but with a
+  /// byte-granularity fast path when the cursor is byte-aligned.
+  std::uint64_t read_word();
 
   /// Bits remaining.
   std::size_t remaining() const { return bit_count_ - pos_; }

@@ -1,0 +1,91 @@
+// Expected-style fallible returns.
+//
+// Constructors that can fail on bad geometry (sketch precisions, register
+// widths) return Result<T> instead of throwing, so callers can branch on
+// configuration errors without exception plumbing; value() bridges back to
+// the repo's exception convention at call sites that treat failure as a bug.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace sensornet {
+
+/// Holds either a T or an error message. Move-only payloads are supported
+/// (the Result is as movable as its T).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit success wrapper, so `return value;` works.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  static Result failure(std::string message) {
+    return Result(FailureTag{}, std::move(message));
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Error message; empty on success.
+  const std::string& error() const { return error_; }
+
+  /// Access the payload; throws PreconditionError when called on a failure
+  /// (treating an unchecked failure as a contract violation).
+  T& value() & {
+    ensure();
+    return *value_;
+  }
+  const T& value() const& {
+    ensure();
+    return *value_;
+  }
+  T&& value() && {
+    ensure();
+    return std::move(*value_);
+  }
+
+ private:
+  struct FailureTag {};
+  Result(FailureTag, std::string message) : error_(std::move(message)) {}
+
+  void ensure() const {
+    if (!value_.has_value()) {
+      throw PreconditionError("Result::value() on failure: " + error_);
+    }
+  }
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result<void>: success/failure with no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+
+  static Result failure(std::string message) {
+    Result r;
+    r.ok_ = false;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  /// Throws PreconditionError when the result is a failure.
+  void value() const {
+    if (!ok_) throw PreconditionError("Result::value() on failure: " + error_);
+  }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace sensornet

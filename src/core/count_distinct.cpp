@@ -4,7 +4,6 @@
 
 #include "src/proto/aggregations.hpp"
 #include "src/proto/tree_wave.hpp"
-#include "src/sketch/loglog.hpp"
 
 namespace sensornet::core {
 

@@ -4,8 +4,7 @@
 
 #include "src/common/codec.hpp"
 #include "src/common/error.hpp"
-#include "src/sketch/loglog.hpp"
-#include "src/sketch/odi_sum.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::proto {
 
@@ -135,9 +134,23 @@ void MaxAgg::combine(Partial& acc, const Partial& in, const Request&) {
 
 // ---- LogLogAgg --------------------------------------------------------------
 
+namespace {
+
+/// Request geometry must be constructible before any sketch work happens;
+/// raising WireFormatError (not PreconditionError) on decode keeps corrupt
+/// requests distinguishable from caller bugs.
+void validate_loglog_geometry(const LogLogAgg::Request& req, bool from_wire) {
+  const auto made = sketch::Hll::make_by_registers(
+      req.registers, sketch::HllOptions{.width = req.width, .sparse = true});
+  if (made.ok()) return;
+  if (from_wire) throw WireFormatError("LogLog request: " + made.error());
+  throw PreconditionError(made.error());
+}
+
+}  // namespace
+
 void LogLogAgg::encode_request(BitWriter& w, const Request& req) {
-  SENSORNET_EXPECTS(req.registers >= 1 &&
-                    (req.registers & (req.registers - 1)) == 0);
+  validate_loglog_geometry(req, /*from_wire=*/false);
   req.pred.encode(w);
   encode_uint(w, req.registers);
   encode_uint(w, req.width);
@@ -152,6 +165,7 @@ LogLogAgg::Request LogLogAgg::decode_request(BitReader& r) {
   req.width = static_cast<std::uint8_t>(decode_uint(r));
   req.mode = static_cast<Mode>(r.read_bits(2));
   req.salt = static_cast<std::uint16_t>(r.read_bits(16));
+  validate_loglog_geometry(req, /*from_wire=*/true);
   return req;
 }
 
@@ -162,33 +176,49 @@ void LogLogAgg::encode_partial(BitWriter& w, const Partial& p,
 
 LogLogAgg::Partial LogLogAgg::decode_partial(BitReader& r,
                                              const Request& req) {
-  return sketch::RegisterArray::decode(r, req.registers, req.width);
+  auto decoded = sketch::Hll::decode(r);
+  if (!decoded.ok()) {
+    throw WireFormatError("LogLog partial: " + decoded.error());
+  }
+  Partial hll = std::move(decoded).value();
+  if (hll.m() != req.registers || hll.width() != req.width) {
+    throw WireFormatError("LogLog partial: geometry does not match request");
+  }
+  return hll;
 }
 
 LogLogAgg::Partial LogLogAgg::local(sim::Network& net, NodeId node,
                                     const Request& req,
                                     const LocalItemView& view) {
-  sketch::RegisterArray regs(req.registers, req.width);
+  // Geometry was validated when the request was built/decoded.
+  Partial hll =
+      sketch::Hll::make_by_registers(
+          req.registers, sketch::HllOptions{.width = req.width, .sparse = true})
+          .value();
   for (const Value x : view.items(net, node)) {
     if (!req.pred.matches(x)) continue;
     switch (req.mode) {
       case Mode::kRandom:
-        sketch::observe_random(regs, net.rng(node));
+        hll.add_random(net.rng(node));
         break;
       case Mode::kHashed:
-        sketch::observe_hashed(regs, static_cast<std::uint64_t>(x), req.salt);
+        hll.add(static_cast<std::uint64_t>(x), req.salt);
         break;
       case Mode::kSumOdi:
-        sketch::observe_sum(regs, static_cast<std::uint64_t>(x),
-                            net.rng(node));
+        hll.add_sum(static_cast<std::uint64_t>(x), net.rng(node));
         break;
     }
   }
-  return regs;
+  return hll;
 }
 
 void LogLogAgg::combine(Partial& acc, const Partial& in, const Request&) {
-  acc.merge(in);
+  const auto merged = acc.merge(in);
+  if (!merged.ok()) {
+    // Both sides were validated against the same request; a mismatch here is
+    // an engine bug, not bad input.
+    throw ProtocolError("LogLogAgg::combine: " + merged.error());
+  }
 }
 
 // ---- CollectAgg -------------------------------------------------------------

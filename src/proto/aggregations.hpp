@@ -17,7 +17,7 @@
 #include "src/proto/item_view.hpp"
 #include "src/proto/predicate.hpp"
 #include "src/sim/network.hpp"
-#include "src/sketch/registers.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::proto {
 
@@ -100,12 +100,16 @@ struct LogLogAgg {
   };
   struct Request {
     Predicate pred = Predicate::always_true();
-    std::uint16_t registers = 64;  // m, a power of two
-    std::uint8_t width = 5;        // register width in bits
+    std::uint16_t registers = 64;  // m, a power of two >= 2
+    std::uint8_t width = 5;        // register width in bits (4, 5, 6, or 8)
     Mode mode = Mode::kRandom;
     std::uint16_t salt = 0;        // distinguishes hashed repetitions
   };
-  using Partial = sketch::RegisterArray;
+  /// Partials travel as self-describing sketch::Hll wire images: leaves with
+  /// few matching items ship a sparse entry list, aggregation-heavy nodes a
+  /// bit-packed dense image — the geometry is validated against the request
+  /// on decode, so a corrupt or foreign sketch can't poison the wave.
+  using Partial = sketch::Hll;
 
   static void encode_request(BitWriter& w, const Request& req);
   static Request decode_request(BitReader& r);

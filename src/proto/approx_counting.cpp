@@ -2,7 +2,7 @@
 
 #include "src/common/error.hpp"
 #include "src/proto/tree_wave.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::proto {
 
@@ -14,8 +14,9 @@ TreeApproxCountingService::TreeApproxCountingService(
                     (config_.registers & (config_.registers - 1)) == 0);
   // A register must hold ranks from up to ~N items per node * N nodes; the
   // node count bounds total observations for singleton inputs, and the +16
-  // slack inside register_width_for absorbs multi-item nodes.
-  width_ = static_cast<std::uint8_t>(sketch::register_width_for(
+  // slack inside packed_width_for absorbs multi-item nodes. The width is
+  // rounded to a packable dense width (4/5/6/8) for sketch::Hll.
+  width_ = static_cast<std::uint8_t>(sketch::packed_width_for(
       static_cast<std::uint64_t>(net.node_count()) + 1));
 }
 
@@ -29,12 +30,12 @@ double TreeApproxCountingService::apx_count(const Predicate& pred) {
   if (next_salt_ == 0) next_salt_ = 1;
 
   TreeWave<LogLogAgg> wave(tree_, next_session_++, view_);
-  const sketch::RegisterArray regs = wave.execute(net_, req);
+  const sketch::Hll hll = wave.execute(net_, req);
   switch (config_.estimator) {
     case EstimatorKind::kLogLog:
-      return sketch::loglog_estimate(regs);
+      return hll.estimate_loglog();
     case EstimatorKind::kHyperLogLog:
-      return sketch::hyperloglog_estimate(regs);
+      return hll.estimate();
   }
   throw ProtocolError("unknown estimator kind");
 }

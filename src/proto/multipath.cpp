@@ -5,19 +5,19 @@
 #include <vector>
 
 #include "src/common/error.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::proto {
 
 namespace {
 
-/// Handler that merges every delivered register array into the receiver's
-/// running state. Coverage tracking (which nodes' contributions are present)
-/// is simulation-side instrumentation carried in a parallel bitset keyed by
-/// message index — the wire carries only the registers.
+/// Handler that merges every delivered sketch into the receiver's running
+/// state. Coverage tracking (which nodes' contributions are present) is
+/// simulation-side instrumentation carried in a parallel bitset keyed by
+/// message index — the wire carries only the sketch image.
 class MergeHandler final : public sim::ProtocolHandler {
  public:
-  MergeHandler(std::vector<sketch::RegisterArray>& state,
+  MergeHandler(std::vector<sketch::Hll>& state,
                std::vector<std::vector<bool>>& coverage,
                const LogLogAgg::Request& request)
       : state_(state), coverage_(coverage), request_(request) {}
@@ -25,9 +25,8 @@ class MergeHandler final : public sim::ProtocolHandler {
   void on_message(sim::Network&, NodeId receiver,
                   const sim::Message& msg) override {
     BitReader r = msg.reader();
-    const auto incoming = sketch::RegisterArray::decode(r, request_.registers,
-                                                        request_.width);
-    state_[receiver].merge(incoming);
+    const sketch::Hll incoming = LogLogAgg::decode_partial(r, request_);
+    LogLogAgg::combine(state_[receiver], incoming, request_);
     // The sender's coverage set travels conceptually with its synopsis; we
     // track it out of band (same information, zero extra wire bits — the
     // registers *are* the synopsis).
@@ -39,7 +38,7 @@ class MergeHandler final : public sim::ProtocolHandler {
   }
 
  private:
-  std::vector<sketch::RegisterArray>& state_;
+  std::vector<sketch::Hll>& state_;
   std::vector<std::vector<bool>>& coverage_;
   const LogLogAgg::Request& request_;
 };
@@ -72,12 +71,13 @@ MultipathResult multipath_loglog_sweep(sim::Network& net, NodeId root,
     if (r == ~0u) throw ProtocolError("multipath: graph is disconnected");
   }
 
-  // Local fold: every node seeds its own register state.
-  std::vector<sketch::RegisterArray> state(
-      n, sketch::RegisterArray(request.registers, request.width));
+  // Local fold: every node seeds its own sketch state (move-only, so the
+  // vector is built by push rather than fill).
+  std::vector<sketch::Hll> state;
+  state.reserve(n);
   std::vector<std::vector<bool>> coverage(n, std::vector<bool>(n, false));
   for (NodeId u = 0; u < n; ++u) {
-    state[u] = LogLogAgg::local(net, u, request, view);
+    state.push_back(LogLogAgg::local(net, u, request, view));
     coverage[u][u] = true;
   }
 

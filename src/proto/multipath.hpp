@@ -21,12 +21,13 @@
 #include "src/proto/aggregations.hpp"
 #include "src/proto/item_view.hpp"
 #include "src/sim/network.hpp"
-#include "src/sketch/registers.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::proto {
 
+/// Move-only (the sketch inside is move-only).
 struct MultipathResult {
-  sketch::RegisterArray registers;
+  sketch::Hll registers;
   /// Nodes whose contribution reached the root through >= 1 path. With no
   /// loss this equals the node count; under loss it measures coverage.
   std::size_t covered_nodes = 0;

@@ -54,7 +54,10 @@ class TreeWave final : public sim::ProtocolHandler {
   /// Runs one complete wave; returns the root's aggregate.
   Partial execute(sim::Network& net, const Request& request) {
     SENSORNET_EXPECTS(net.node_count() == tree_.node_count());
-    state_.assign(tree_.node_count(), NodeState{});
+    // clear+resize instead of assign: Partial may be move-only (e.g. the
+    // LogLog sketch), and assign requires a copyable prototype.
+    state_.clear();
+    state_.resize(tree_.node_count());
     root_result_.reset();
     start_node(net, tree_.root, request);
     net.run(*this);

@@ -149,14 +149,13 @@ QueryResult Executor::run(const Query& q, const Plan& plan) {
       // N * X unit observations.
       proto::LogLogAgg::Request req;
       req.registers = static_cast<std::uint16_t>(plan.registers);
-      req.width = static_cast<std::uint8_t>(sketch::register_width_for(
+      req.width = static_cast<std::uint8_t>(sketch::packed_width_for(
           static_cast<std::uint64_t>(net.node_count()) *
           static_cast<std::uint64_t>(deployment_.max_value_bound | 1)));
       req.mode = proto::LogLogAgg::Mode::kSumOdi;
       proto::TreeWave<proto::LogLogAgg> wave(deployment_.tree, 0x6900,
                                              *view_);
-      const double sum =
-          sketch::hyperloglog_estimate(wave.execute(net, req));
+      const double sum = wave.execute(net, req).estimate();
       if (q.agg == AggKind::kSum) {
         res.value = sum;
       } else {

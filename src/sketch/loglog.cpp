@@ -1,93 +1,18 @@
 #include "src/sketch/loglog.hpp"
 
-#include <bit>
 #include <cmath>
 
-#include "src/common/error.hpp"
-#include "src/common/hash.hpp"
-#include "src/common/mathutil.hpp"
+namespace sensornet::sketch::detail {
 
-namespace sensornet::sketch {
-
-void observe_random(RegisterArray& regs, Xoshiro256& rng) {
-  const unsigned bucket =
-      static_cast<unsigned>(rng.next_below(regs.count()));
-  regs.observe(bucket, rng.next_geometric_rank());
-}
-
-void observe_hashed(RegisterArray& regs, std::uint64_t item,
-                    std::uint64_t salt) {
-  const std::uint64_t h = hash64(item, salt);
-  const unsigned b = floor_log2(regs.count());  // m = 2^b
-  const unsigned bucket = static_cast<unsigned>(h & (regs.count() - 1));
-  // Rank of the remaining 64-b bits: leading-zero run + 1, same law as a
-  // Geometric(1/2) sample truncated at 64-b.
-  const std::uint64_t rest = h >> b;
-  const unsigned avail = 64 - b;
-  const unsigned lz = rest == 0
-                          ? avail
-                          : std::min<unsigned>(
-                                avail, static_cast<unsigned>(
-                                           std::countl_zero(rest << b)));
-  regs.observe(bucket, lz + 1);
-}
-
-double loglog_alpha(unsigned m) {
-  SENSORNET_EXPECTS(m >= 2);
-  const double dm = static_cast<double>(m);
-  const double base =
-      dm * std::tgamma(1.0 - 1.0 / dm) * (std::pow(2.0, 1.0 / dm) - 1.0) /
-      std::log(2.0);
-  return std::pow(base, -dm);
-}
-
-double loglog_estimate(const RegisterArray& regs) {
+double hyperloglog_estimate_registers(const RegisterArray& regs) {
   const unsigned m = regs.count();
-  const double mean_rank =
-      static_cast<double>(regs.rank_sum()) / static_cast<double>(m);
-  return loglog_alpha(m) * static_cast<double>(m) *
-         std::pow(2.0, mean_rank);
-}
-
-double hyperloglog_estimate(const RegisterArray& regs) {
-  const unsigned m = regs.count();
-  const double dm = static_cast<double>(m);
-  double harmonic = 0.0;
-  for (unsigned i = 0; i < m; ++i) {
-    harmonic += std::pow(2.0, -static_cast<double>(regs.value(i)));
-  }
-  const double alpha =
-      0.7213 / (1.0 + 1.079 / dm);  // standard HLL constant (m >= 128 exact;
-                                    // close enough for m >= 16)
-  double estimate = alpha * dm * dm / harmonic;
   const unsigned zeros = regs.zero_count();
-  if (estimate <= 2.5 * dm && zeros > 0) {
-    // Linear-counting correction for small cardinalities.
-    estimate = dm * std::log(dm / static_cast<double>(zeros));
+  double harmonic = static_cast<double>(zeros);
+  for (unsigned i = 0; i < m; ++i) {
+    const unsigned v = regs.value(i);
+    if (v != 0) harmonic += std::ldexp(1.0, -static_cast<int>(v));
   }
-  return estimate;
+  return hyperloglog_estimate_from(m, harmonic, zeros);
 }
 
-double loglog_sigma(unsigned m) {
-  // beta_m -> 1.298...; the short-m correction follows Durand-Flajolet's
-  // reported constants (beta_16 ~ 1.46, beta_32 ~ 1.39).
-  SENSORNET_EXPECTS(m >= 2);
-  const double dm = static_cast<double>(m);
-  return (1.30 + 2.6 / dm) / std::sqrt(dm);
-}
-
-double hyperloglog_sigma(unsigned m) {
-  SENSORNET_EXPECTS(m >= 2);
-  return 1.04 / std::sqrt(static_cast<double>(m));
-}
-
-unsigned register_width_for(std::uint64_t max_observations) {
-  // Ranks concentrate at log2(n/m) + O(1); width log2(log2 n + slack) bits
-  // never saturates in practice. Keep a generous +16 slack before taking the
-  // outer log so even adversarial merges stay exact.
-  const unsigned max_rank = floor_log2(max_observations | 1) + 16;
-  unsigned w = ceil_log2(max_rank + 1);
-  return w < 3 ? 3 : w;
-}
-
-}  // namespace sensornet::sketch
+}  // namespace sensornet::sketch::detail

@@ -1,58 +1,63 @@
-// LogLog / HyperLogLog cardinality estimation (Durand–Flajolet [3]).
+// Legacy LogLog free-function API — deprecated compatibility shims.
 //
-// Two observation modes feed the same register state:
-//   * random mode  — each observation is an independent Geometric(1/2)
-//     sample into a random bucket; estimates the *count* of observations
-//     (Fact 2.2's alpha-counting).
-//   * hashed mode  — bucket and rank are derived from the item's hash, so
-//     duplicates collapse; estimates the number of *distinct* items
-//     (Section 5's efficient approximate COUNT_DISTINCT).
+// The sketch layer's real implementation now lives in sketch::Hll
+// (src/sketch/hll.hpp): sparse/dense representations, bit-packed dense
+// registers, word-at-a-time merge, and a versioned wire format. These
+// free functions over the byte-per-register RegisterArray survive for one
+// release as one-line forwarders so out-of-tree callers migrate on their
+// own schedule:
 //
-// Estimators: the original LogLog geometric-mean estimator (whose sigma
-// multiplier beta_m -> 1.298 is what Fact 2.2 quotes) and HyperLogLog's
-// harmonic-mean estimator with small-range correction (same wire format,
-// better constants — used where the algorithms just need a good alpha-
-// counting black box).
+//   observe_random(regs, rng)        ->  Hll::add_random(rng)
+//   observe_hashed(regs, item, salt) ->  Hll::add(item, salt)
+//   loglog_estimate(regs)            ->  Hll::estimate_loglog()
+//   hyperloglog_estimate(regs)       ->  Hll::estimate()
+//
+// The estimator-math helpers (loglog_alpha / *_sigma / register_width_for)
+// are not deprecated; they moved to hll.hpp and are re-exported here.
 #pragma once
 
 #include <cstdint>
 
 #include "src/common/rng.hpp"
+#include "src/sketch/hll.hpp"
 #include "src/sketch/registers.hpp"
 
 namespace sensornet::sketch {
 
+namespace detail {
+/// Non-deprecated implementation backing the hyperloglog_estimate shim
+/// (needs a loop over registers, so it is not inline-forwardable).
+double hyperloglog_estimate_registers(const RegisterArray& regs);
+}  // namespace detail
+
 /// One LogLog observation in random mode: picks a uniform bucket and a
 /// geometric rank from `rng` and raises the register.
-void observe_random(RegisterArray& regs, Xoshiro256& rng);
+[[deprecated("use sketch::Hll::add_random")]]
+inline void observe_random(RegisterArray& regs, Xoshiro256& rng) {
+  const Observation o = random_observation(regs.count(), rng);
+  regs.observe(o.bucket, o.rank);
+}
 
 /// One LogLog observation in hashed mode: bucket = low bits of
 /// hash64(item, salt), rank = leading-zero run of the remaining bits + 1.
-void observe_hashed(RegisterArray& regs, std::uint64_t item,
-                    std::uint64_t salt);
+[[deprecated("use sketch::Hll::add")]]
+inline void observe_hashed(RegisterArray& regs, std::uint64_t item,
+                           std::uint64_t salt) {
+  const Observation o = hashed_observation(regs.count(), item, salt);
+  regs.observe(o.bucket, o.rank);
+}
 
 /// The Durand–Flajolet LogLog estimate: alpha_m * m * 2^(rank_sum / m).
-double loglog_estimate(const RegisterArray& regs);
+[[deprecated("use sketch::Hll::estimate_loglog")]]
+inline double loglog_estimate(const RegisterArray& regs) {
+  return loglog_estimate_from(regs.count(), regs.rank_sum());
+}
 
 /// The HyperLogLog estimate (harmonic mean) with the standard small-range
 /// (linear counting) correction.
-double hyperloglog_estimate(const RegisterArray& regs);
-
-/// alpha_m, the LogLog bias-correction constant:
-/// (m * Gamma(1 - 1/m) * (2^(1/m) - 1) / ln 2)^(-m).
-double loglog_alpha(unsigned m);
-
-/// Asymptotic relative standard error of the LogLog estimate
-/// (~= 1.30 / sqrt(m); the paper's beta_m -> 1.298).
-double loglog_sigma(unsigned m);
-
-/// Asymptotic relative standard error of the HyperLogLog estimate
-/// (~= 1.04 / sqrt(m)).
-double hyperloglog_sigma(unsigned m);
-
-/// Register width sufficient to store geometric ranks arising from up to
-/// `max_observations` observations without saturation distorting estimates
-/// (the O(log log N) bits of Fact 2.2).
-unsigned register_width_for(std::uint64_t max_observations);
+[[deprecated("use sketch::Hll::estimate")]]
+inline double hyperloglog_estimate(const RegisterArray& regs) {
+  return detail::hyperloglog_estimate_registers(regs);
+}
 
 }  // namespace sensornet::sketch

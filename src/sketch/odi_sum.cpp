@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/error.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::sketch {
 
@@ -47,22 +48,41 @@ unsigned sample_max_geometric(std::uint64_t count, Xoshiro256& rng) {
   return static_cast<unsigned>(std::ceil(r));
 }
 
-void observe_sum(RegisterArray& regs, std::uint64_t value, Xoshiro256& rng) {
+namespace {
+
+/// Works against any sketch exposing count-compatible observe(bucket, rank);
+/// shared by the RegisterArray shim and Hll::add_sum so both draw the same
+/// rng sequence.
+template <typename Sketch>
+void observe_sum_into(Sketch& sketch, unsigned m, std::uint64_t value,
+                      Xoshiro256& rng) {
   if (value == 0) return;
-  const unsigned m = regs.count();
   std::uint64_t remaining = value;
   for (unsigned b = 0; b + 1 < m; ++b) {
     // Sequential conditional binomials keep the bucket counts an exact
     // multinomial split of `value`.
     const std::uint64_t units =
         sample_binomial_inv_m(remaining, m - b, rng);
-    if (units > 0) regs.observe(b, sample_max_geometric(units, rng));
+    if (units > 0) sketch.observe(b, sample_max_geometric(units, rng));
     remaining -= units;
     if (remaining == 0) break;
   }
   if (remaining > 0) {
-    regs.observe(m - 1, sample_max_geometric(remaining, rng));
+    sketch.observe(m - 1, sample_max_geometric(remaining, rng));
   }
+}
+
+}  // namespace
+
+namespace detail {
+void observe_sum_registers(RegisterArray& regs, std::uint64_t value,
+                           Xoshiro256& rng) {
+  observe_sum_into(regs, regs.count(), value, rng);
+}
+}  // namespace detail
+
+void Hll::add_sum(std::uint64_t value, Xoshiro256& rng) {
+  observe_sum_into(*this, m(), value, rng);
 }
 
 }  // namespace sensornet::sketch

@@ -5,6 +5,12 @@
 // arrays is an elementwise max — associative, commutative, idempotent, so it
 // aggregates on any tree (or any duplicating communication layer, cf. [2]).
 // Wire size is exactly m * width bits.
+//
+// LEGACY: superseded by sketch::Hll (src/sketch/hll.hpp), which adds a
+// sparse representation, bit-packed dense storage with word-at-a-time merge,
+// and a versioned self-describing wire format. This byte-per-register class
+// remains only as the state behind the deprecated observe_*/*_estimate
+// free-function shims (loglog.hpp, odi_sum.hpp) for one release.
 #pragma once
 
 #include <cstdint>

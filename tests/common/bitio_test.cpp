@@ -131,6 +131,61 @@ TEST(BitIo, ReservePreservesContentAndBitCount) {
   EXPECT_EQ(w.bytes()[64], 0xCD);
 }
 
+TEST(BitIo, WordWriteAlignedMatchesWriteBits) {
+  // write_word's byte-aligned fast path must produce the exact image of
+  // write_bits(v, 64).
+  BitWriter fast;
+  BitWriter slow;
+  const std::uint64_t vals[] = {0ULL, ~0ULL, 0xDEADBEEFCAFEF00DULL,
+                                0x0123456789ABCDEFULL};
+  for (const auto v : vals) {
+    fast.write_word(v);
+    slow.write_bits(v, 64);
+  }
+  ASSERT_EQ(fast.bit_count(), slow.bit_count());
+  ASSERT_EQ(fast.bytes().size(), slow.bytes().size());
+  for (std::size_t i = 0; i < fast.bytes().size(); ++i) {
+    EXPECT_EQ(fast.bytes()[i], slow.bytes()[i]) << i;
+  }
+}
+
+TEST(BitIo, WordWriteUnalignedMatchesWriteBits) {
+  BitWriter fast;
+  BitWriter slow;
+  fast.write_bits(0x5, 3);
+  slow.write_bits(0x5, 3);
+  fast.write_word(0xFEEDFACE12345678ULL);
+  slow.write_bits(0xFEEDFACE12345678ULL, 64);
+  ASSERT_EQ(fast.bit_count(), slow.bit_count());
+  for (std::size_t i = 0; i < fast.bytes().size(); ++i) {
+    EXPECT_EQ(fast.bytes()[i], slow.bytes()[i]) << i;
+  }
+}
+
+TEST(BitIo, WordReadRoundTrip) {
+  Xoshiro256 rng(9);
+  for (const unsigned lead : {0u, 1u, 7u, 13u}) {
+    BitWriter w;
+    if (lead > 0) w.write_bits(rng.next_u64() & ((1ULL << lead) - 1), lead);
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 8; ++i) {
+      vals.push_back(rng.next_u64());
+      w.write_word(vals.back());
+    }
+    BitReader r(w.bytes().data(), w.bit_count());
+    if (lead > 0) r.read_bits(lead);
+    for (const auto v : vals) EXPECT_EQ(r.read_word(), v) << "lead=" << lead;
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(BitIo, WordReadPastEndThrows) {
+  BitWriter w;
+  w.write_bits(0xAB, 8);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_THROW(r.read_word(), WireFormatError);
+}
+
 TEST(BitIo, RandomizedRoundTrip) {
   Xoshiro256 rng(42);
   for (int trial = 0; trial < 200; ++trial) {

@@ -10,6 +10,7 @@
 #include "src/common/rng.hpp"
 #include "src/proto/aggregations.hpp"
 #include "src/proto/predicate.hpp"
+#include "src/sketch/hll.hpp"
 #include "src/sketch/registers.hpp"
 
 namespace sensornet {
@@ -56,6 +57,45 @@ TEST(FuzzDecode, Predicate) {
 
 TEST(FuzzDecode, Registers) {
   fuzz([](BitReader& r) { sketch::RegisterArray::decode(r, 64, 6); });
+}
+
+TEST(FuzzDecode, Hll) {
+  // Result-style decoder: a failure return is as acceptable as a clean
+  // throw; what is banned is a crash or a silently corrupt sketch.
+  fuzz([](BitReader& r) { (void)sketch::Hll::decode(r); });
+}
+
+TEST(FuzzDecode, HllBitFlippedValidImagesStaySafe) {
+  // Start from VALID v1 images (one sparse, one dense), flip each bit in
+  // turn, decode. Every outcome must be a Result failure, a clean
+  // WireFormatError, or a well-formed sketch.
+  Xoshiro256 rng(13);
+  auto sparse = sketch::Hll::make_by_registers(64).value();
+  for (int i = 0; i < 5; ++i) sparse.add_random(rng);
+  auto dense =
+      sketch::Hll::make_by_registers(64, {.width = 6, .sparse = false})
+          .value();
+  for (int i = 0; i < 500; ++i) dense.add_random(rng);
+  for (const sketch::Hll* hll : {&sparse, &dense}) {
+    BitWriter w;
+    hll->encode(w);
+    const std::vector<std::uint8_t> image(w.bytes().begin(),
+                                          w.bytes().end());
+    const std::size_t bits = w.bit_count();
+    for (std::size_t flip = 0; flip < bits; ++flip) {
+      auto corrupted = image;
+      corrupted[flip / 8] ^= static_cast<std::uint8_t>(0x80u >> (flip % 8));
+      BitReader r(corrupted.data(), bits);
+      try {
+        auto decoded = sketch::Hll::decode(r);
+        if (decoded.ok()) {
+          (void)decoded.value().estimate();  // must be a usable sketch
+        }
+      } catch (const WireFormatError&) {
+      } catch (const PreconditionError&) {
+      }
+    }
+  }
 }
 
 TEST(FuzzDecode, CollectPartial) {

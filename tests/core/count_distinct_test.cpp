@@ -98,8 +98,12 @@ TEST(ApproxDistinct, AccuracyWithinPaperBound) {
   EXPECT_GE(within, 11) << within << "/" << kTrials;
 }
 
-TEST(ApproxDistinct, BitsAreDistinctCountIndependent) {
-  // The contrast of Section 5: approximate cost does not grow with D.
+TEST(ApproxDistinct, BitsStayNearlyFlatAsDistinctCountGrows) {
+  // The contrast of Section 5: approximate cost does not grow with D. With
+  // the sparse wire format the cost is no longer a constant — low
+  // cardinality is strictly cheaper — but it is capped by the dense
+  // register block, so 32x more distinct values buys far less than 32x
+  // more bits (vs the exact protocol's linear growth).
   Xoshiro256 rng(13);
   const std::size_t n = 256;
   std::uint64_t bits_small = 0;
@@ -118,7 +122,8 @@ TEST(ApproxDistinct, BitsAreDistinctCountIndependent) {
                                        proto::EstimatorKind::kHyperLogLog)
                      .max_node_bits;
   }
-  EXPECT_EQ(bits_small, bits_large);  // registers have fixed wire size
+  EXPECT_LE(bits_small, bits_large);       // sparse never costs more
+  EXPECT_LT(bits_large, 4 * bits_small);   // ...and dense caps the growth
 }
 
 TEST(ApproxDistinct, LogLogEstimatorAlsoWorks) {

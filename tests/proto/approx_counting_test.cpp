@@ -7,7 +7,7 @@
 #include "src/common/error.hpp"
 #include "src/common/mathutil.hpp"
 #include "src/net/topology.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::proto {
 namespace {
@@ -93,9 +93,10 @@ TEST(ApproxCounting, PerNodeBitsAreLogLogScale) {
     TreeApproxCountingService svc(net, tree, cfg);
     svc.apx_count(Predicate::always_true());
     const auto bits = net.summary().max_node_bits;
-    const unsigned w = sketch::register_width_for(n + 1);
-    // Two register arrays (rx + tx) + two requests (~33 bits each).
-    EXPECT_LE(bits, 2 * 16 * w + 96) << "n=" << n;
+    const unsigned w = sketch::packed_width_for(n + 1);
+    // Two sketch images (rx + tx, each at most header + dense registers) +
+    // two requests (~33 bits each).
+    EXPECT_LE(bits, 2 * (16 * w + sketch::Hll::kHeaderBits) + 96) << "n=" << n;
   }
 }
 

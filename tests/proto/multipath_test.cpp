@@ -6,7 +6,7 @@
 #include "src/common/workload.hpp"
 #include "src/net/topology.hpp"
 #include "src/proto/tree_wave.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::proto {
 namespace {
@@ -46,7 +46,7 @@ TEST(Multipath, RandomModeEstimatesCount) {
   req.width = 6;
   req.mode = LogLogAgg::Mode::kRandom;
   const auto res = multipath_loglog_sweep(net, 0, req);
-  EXPECT_NEAR(sketch::hyperloglog_estimate(res.registers), 100.0, 30.0);
+  EXPECT_NEAR(res.registers.estimate(), 100.0, 30.0);
 }
 
 TEST(Multipath, SurvivesHeavyLossOnDenseGraphs) {
@@ -90,9 +90,13 @@ TEST(Multipath, LineHasNoRedundancy) {
 
 TEST(Multipath, CostScalesWithDownhillDegree) {
   // Redundancy is paid in bits: multipath on a grid costs more per node
-  // than one tree wave of the same registers.
+  // than one tree wave of the same registers. Distinct values per node keep
+  // the sketches dense — with a single shared value every message would be
+  // a one-entry sparse sketch and the redundancy premium would vanish.
+  Xoshiro256 rng(29);
   sim::Network net(net::make_grid(8, 8), 23);
-  net.set_one_item_per_node(ValueSet(64, 3));
+  net.set_one_item_per_node(
+      generate_workload(WorkloadKind::kUniform, 64, 1 << 12, rng));
   multipath_loglog_sweep(net, 0, hashed_request());
   const auto multipath_bits = net.summary().max_node_bits;
   net.reset_accounting();

@@ -5,6 +5,8 @@
 // protocol, with and without message loss.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "src/common/error.hpp"
 #include "src/net/spanning_tree.hpp"
 #include "src/net/topology.hpp"
@@ -45,7 +47,7 @@ std::vector<NodeCommStats> tree_wave_stats(const net::Graph& graph,
 
 struct MultipathRun {
   std::vector<NodeCommStats> stats;
-  sketch::RegisterArray registers;
+  sketch::Hll registers;  // move-only, so the struct is too
   std::size_t covered = 0;
 };
 
@@ -58,8 +60,8 @@ MultipathRun multipath_run(const net::Graph& graph, std::uint64_t seed,
   req.registers = 32;
   req.width = 5;
   req.mode = proto::LogLogAgg::Mode::kRandom;  // draws from per-node streams
-  const auto res = proto::multipath_loglog_sweep(net, 0, req);
-  return {net.all_stats(), res.registers, res.covered_nodes};
+  auto res = proto::multipath_loglog_sweep(net, 0, req);
+  return {net.all_stats(), std::move(res.registers), res.covered_nodes};
 }
 
 net::Graph geometric_graph(std::size_t n) {
@@ -82,12 +84,13 @@ TEST(Determinism, TreeWaveIdenticalUnderLoss) {
 TEST(Determinism, MultipathDifferentSeedsChangeRegisters) {
   // Sanity check that the comparisons have teeth: kRandom mode draws from
   // the per-node streams, so a different master seed must change the
-  // aggregated registers (while wire bits, fixed-width, stay the same).
+  // aggregated registers. (Bit accounting is content-dependent now — sparse
+  // sketch images grow with the entry count — so only same-seed runs are
+  // expected to match byte-for-byte.)
   const net::Graph geo = geometric_graph(48);
   const auto a = multipath_run(geo, 123, 0.0);
   const auto b = multipath_run(geo, 124, 0.0);
-  EXPECT_NE(a.registers, b.registers);
-  EXPECT_EQ(a.stats, b.stats);  // fixed-width registers: identical bits
+  EXPECT_FALSE(a.registers == b.registers);
 }
 
 TEST(Determinism, MultipathIdenticalAccountingAcrossRuns) {

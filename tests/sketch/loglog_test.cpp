@@ -5,9 +5,14 @@
 #include <cmath>
 
 #include "src/common/rng.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::sketch {
 namespace {
+
+Hll make_hll(unsigned m, unsigned width = 6) {
+  return Hll::make_by_registers(m, HllOptions{.width = width}).value();
+}
 
 TEST(LogLog, AlphaConstantMatchesLiterature) {
   // Durand-Flajolet: alpha_m -> 0.39701... for large m.
@@ -27,6 +32,15 @@ TEST(LogLog, RegisterWidthIsLogLog) {
   EXPECT_LE(register_width_for(100), w20);
 }
 
+TEST(LogLog, PackedWidthRoundsIntoDenseFormats) {
+  // packed_width_for must always land on a packable dense width.
+  for (std::uint64_t n = 1; n < (1ULL << 62); n = n * 7 + 3) {
+    const unsigned w = packed_width_for(n);
+    EXPECT_TRUE(w == 4 || w == 5 || w == 6 || w == 8) << "n=" << n;
+    EXPECT_GE(w, register_width_for(n) == 7 ? 8u : register_width_for(n));
+  }
+}
+
 TEST(LogLog, RandomModeEstimatesCount) {
   // sigma ~ 1.3/sqrt(256) ~ 8%; average over trials should be within a few
   // percent of truth for N >> m.
@@ -36,9 +50,9 @@ TEST(LogLog, RandomModeEstimatesCount) {
   for (const std::uint64_t n : {20000ULL, 100000ULL}) {
     double sum = 0;
     for (int t = 0; t < kTrials; ++t) {
-      RegisterArray regs(m, 6);
-      for (std::uint64_t i = 0; i < n; ++i) observe_random(regs, rng);
-      sum += loglog_estimate(regs);
+      Hll hll = make_hll(m);
+      for (std::uint64_t i = 0; i < n; ++i) hll.add_random(rng);
+      sum += hll.estimate_loglog();
     }
     const double avg = sum / kTrials;
     EXPECT_NEAR(avg / static_cast<double>(n), 1.0, 0.06) << "n=" << n;
@@ -47,28 +61,28 @@ TEST(LogLog, RandomModeEstimatesCount) {
 
 TEST(LogLog, HashedModeCountsDistinctNotOccurrences) {
   const unsigned m = 256;
-  RegisterArray once(m, 6);
-  RegisterArray tenfold(m, 6);
+  Hll once = make_hll(m);
+  Hll tenfold = make_hll(m);
   const std::uint64_t distinct = 50000;
   for (std::uint64_t v = 0; v < distinct; ++v) {
-    observe_hashed(once, v, 1);
-    for (int rep = 0; rep < 10; ++rep) observe_hashed(tenfold, v, 1);
+    once.add(v, 1);
+    for (int rep = 0; rep < 10; ++rep) tenfold.add(v, 1);
   }
   // Duplicates must not move a single register.
   EXPECT_EQ(once, tenfold);
-  EXPECT_NEAR(loglog_estimate(once) / static_cast<double>(distinct), 1.0,
+  EXPECT_NEAR(once.estimate_loglog() / static_cast<double>(distinct), 1.0,
               0.15);
 }
 
 TEST(LogLog, HashedModeSaltIndependence) {
   const unsigned m = 64;
-  RegisterArray a(m, 6);
-  RegisterArray b(m, 6);
+  Hll a = make_hll(m);
+  Hll b = make_hll(m);
   for (std::uint64_t v = 0; v < 1000; ++v) {
-    observe_hashed(a, v, 1);
-    observe_hashed(b, v, 2);
+    a.add(v, 1);
+    b.add(v, 2);
   }
-  EXPECT_NE(a, b);  // different hash functions -> different sketches
+  EXPECT_FALSE(a == b);  // different hash functions -> different sketches
 }
 
 TEST(HyperLogLog, SmallRangeCorrectionKeepsLowCountsHonest) {
@@ -80,9 +94,9 @@ TEST(HyperLogLog, SmallRangeCorrectionKeepsLowCountsHonest) {
     double sum = 0;
     constexpr int kTrials = 30;
     for (int t = 0; t < kTrials; ++t) {
-      RegisterArray regs(m, 6);
-      for (std::uint64_t i = 0; i < n; ++i) observe_random(regs, rng);
-      sum += hyperloglog_estimate(regs);
+      Hll hll = make_hll(m);
+      for (std::uint64_t i = 0; i < n; ++i) hll.add_random(rng);
+      sum += hll.estimate();
     }
     const double avg = sum / kTrials;
     EXPECT_NEAR(avg / static_cast<double>(n), 1.0, 0.15) << "n=" << n;
@@ -97,9 +111,9 @@ TEST(HyperLogLog, StandardErrorScalesWithRegisters) {
     constexpr int kTrials = 30;
     double sq = 0;
     for (int t = 0; t < kTrials; ++t) {
-      RegisterArray regs(m, 6);
-      for (std::uint64_t i = 0; i < n; ++i) observe_random(regs, rng);
-      const double e = hyperloglog_estimate(regs) / n - 1.0;
+      Hll hll = make_hll(m);
+      for (std::uint64_t i = 0; i < n; ++i) hll.add_random(rng);
+      const double e = hll.estimate() / n - 1.0;
       sq += e * e;
     }
     return std::sqrt(sq / kTrials);
@@ -121,13 +135,49 @@ TEST(LogLog, EstimateWithinThreeSigmaTypically) {
   int violations = 0;
   constexpr int kTrials = 60;
   for (int t = 0; t < kTrials; ++t) {
-    RegisterArray regs(m, 6);
-    for (std::uint64_t i = 0; i < n; ++i) observe_random(regs, rng);
-    const double rel = loglog_estimate(regs) / static_cast<double>(n) - 1.0;
+    Hll hll = make_hll(m);
+    for (std::uint64_t i = 0; i < n; ++i) hll.add_random(rng);
+    const double rel = hll.estimate_loglog() / static_cast<double>(n) - 1.0;
     if (std::abs(rel) > 3 * sigma) ++violations;
   }
   EXPECT_LE(violations, 3);  // ~0.3% expected; allow a few for small samples
 }
+
+// The deprecated free-function shims must forward faithfully: identical
+// observations via the old and new spellings produce identical state and
+// identical estimates.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(LogLog, DeprecatedShimsForwardToHll) {
+  const unsigned m = 64;
+  RegisterArray legacy(m, 6);
+  Hll modern = make_hll(m);
+  for (std::uint64_t v = 0; v < 2000; ++v) {
+    observe_hashed(legacy, v, 9);
+    modern.add(v, 9);
+  }
+  for (unsigned b = 0; b < m; ++b) {
+    EXPECT_EQ(static_cast<unsigned>(legacy.value(b)), modern.value(b)) << b;
+  }
+  EXPECT_DOUBLE_EQ(loglog_estimate(legacy), modern.estimate_loglog());
+  EXPECT_DOUBLE_EQ(hyperloglog_estimate(legacy), modern.estimate());
+}
+
+TEST(LogLog, DeprecatedRandomShimMatchesRngSequence) {
+  Xoshiro256 rng_a(42);
+  Xoshiro256 rng_b(42);
+  const unsigned m = 32;
+  RegisterArray legacy(m, 6);
+  Hll modern = make_hll(m);
+  for (int i = 0; i < 500; ++i) {
+    observe_random(legacy, rng_a);
+    modern.add_random(rng_b);
+  }
+  for (unsigned b = 0; b < m; ++b) {
+    EXPECT_EQ(static_cast<unsigned>(legacy.value(b)), modern.value(b)) << b;
+  }
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace sensornet::sketch

@@ -7,10 +7,15 @@
 #include "src/net/topology.hpp"
 #include "src/proto/aggregations.hpp"
 #include "src/proto/tree_wave.hpp"
+#include "src/sketch/hll.hpp"
 #include "src/sketch/loglog.hpp"
 
 namespace sensornet::sketch {
 namespace {
+
+Hll make_hll(unsigned m) {
+  return Hll::make_by_registers(m, HllOptions{.width = 6}).value();
+}
 
 TEST(OdiSum, BinomialSamplerMeanAndSpread) {
   Xoshiro256 rng(3);
@@ -52,10 +57,10 @@ TEST(OdiSum, MaxGeometricTracksLogCount) {
 }
 
 TEST(OdiSum, ZeroValueIsNoop) {
-  RegisterArray regs(16, 6);
+  Hll hll = make_hll(16);
   Xoshiro256 rng(9);
-  observe_sum(regs, 0, rng);
-  EXPECT_EQ(regs.rank_sum(), 0u);
+  hll.add_sum(0, rng);
+  EXPECT_EQ(hll.rank_sum(), 0u);
 }
 
 TEST(OdiSum, EstimatesSumNotCount) {
@@ -65,9 +70,9 @@ TEST(OdiSum, EstimatesSumNotCount) {
   double total = 0;
   constexpr int kTrials = 15;
   for (int t = 0; t < kTrials; ++t) {
-    RegisterArray regs(m, 6);
-    for (int i = 0; i < 50; ++i) observe_sum(regs, 1000, rng);
-    total += hyperloglog_estimate(regs);
+    Hll hll = make_hll(m);
+    for (int i = 0; i < 50; ++i) hll.add_sum(1000, rng);
+    total += hll.estimate();
   }
   EXPECT_NEAR(total / kTrials / 50000.0, 1.0, 0.1);
 }
@@ -76,13 +81,13 @@ TEST(OdiSum, MixedMagnitudes) {
   Xoshiro256 rng(13);
   const unsigned m = 256;
   std::uint64_t truth = 0;
-  RegisterArray regs(m, 6);
+  Hll hll = make_hll(m);
   for (int i = 0; i < 200; ++i) {
     const std::uint64_t v = rng.next_below(5000);
     truth += v;
-    observe_sum(regs, v, rng);
+    hll.add_sum(v, rng);
   }
-  EXPECT_NEAR(hyperloglog_estimate(regs) / static_cast<double>(truth), 1.0,
+  EXPECT_NEAR(hll.estimate() / static_cast<double>(truth), 1.0,
               0.35);  // single sketch: ~3 sigma at m=256 plus approx slack
 }
 
@@ -107,7 +112,7 @@ TEST(OdiSum, SumWaveOverTree) {
   constexpr int kTrials = 10;
   for (int t = 0; t < kTrials; ++t) {
     proto::TreeWave<proto::LogLogAgg> wave(tree, static_cast<std::uint32_t>(t));
-    total += hyperloglog_estimate(wave.execute(net, req));
+    total += wave.execute(net, req).estimate();
   }
   EXPECT_NEAR(total / kTrials / static_cast<double>(truth), 1.0, 0.15);
 }
@@ -115,12 +120,32 @@ TEST(OdiSum, SumWaveOverTree) {
 TEST(OdiSum, RegisterStateStaysMergeIdempotent) {
   // The ODI property that makes this sketch multipath-safe.
   Xoshiro256 rng(23);
-  RegisterArray a(64, 6);
-  observe_sum(a, 12345, rng);
-  RegisterArray merged = a;
-  merged.merge(a);
+  Hll a = make_hll(64);
+  a.add_sum(12345, rng);
+  Hll merged = a.clone();
+  ASSERT_TRUE(merged.merge(a).ok());
   EXPECT_EQ(merged, a);
 }
+
+// The deprecated observe_sum shim and Hll::add_sum share the multinomial
+// split, so seeded identically they must land the exact same observations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(OdiSum, DeprecatedShimMatchesAddSum) {
+  Xoshiro256 rng_a(29);
+  Xoshiro256 rng_b(29);
+  const unsigned m = 64;
+  RegisterArray legacy(m, 6);
+  Hll modern = make_hll(m);
+  for (const std::uint64_t v : {0ULL, 1ULL, 77ULL, 5000ULL, 123456ULL}) {
+    observe_sum(legacy, v, rng_a);
+    modern.add_sum(v, rng_b);
+  }
+  for (unsigned b = 0; b < m; ++b) {
+    EXPECT_EQ(static_cast<unsigned>(legacy.value(b)), modern.value(b)) << b;
+  }
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace sensornet::sketch
