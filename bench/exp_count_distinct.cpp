@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/trial_farm.hpp"
 #include "src/core/count_distinct.hpp"
 #include "src/core/disjointness.hpp"
 #include "src/sketch/hll.hpp"
@@ -25,12 +26,20 @@
 namespace sensornet::bench {
 namespace {
 
-void linear_vs_flat_table() {
+// Every table below runs its rows as farm cells. Cells draw randomness
+// from trial_seed(table_seed, cell) — their own splitmix64-separated
+// streams — instead of sharing one sequential generator, which is what
+// makes the rows schedulable on any worker without changing a digit.
+using Row = std::vector<std::string>;
+
+void linear_vs_flat_table(TrialFarm& farm) {
   Table table({"N", "distinct D", "exact bits/node", "approx bits/node (m=64)",
                "exact/approx"});
-  Xoshiro256 rng(3);
   const std::size_t n = 1024;
-  for (const std::size_t d : {8UL, 64UL, 256UL, 1024UL}) {
+  const std::vector<std::size_t> distinct{8, 64, 256, 1024};
+  const auto rows = farm.map<Row>(distinct.size(), [&](std::size_t cell) {
+    const std::size_t d = distinct[cell];
+    Xoshiro256 rng(trial_seed(3, cell));
     const ValueSet xs = generate_with_distinct(n, d, 1 << 22, rng);
     std::uint64_t exact_bits = 0;
     std::uint64_t approx_bits = 0;
@@ -49,24 +58,27 @@ void linear_vs_flat_table() {
                                       proto::EstimatorKind::kHyperLogLog)
               .max_node_bits;
     }
-    table.add_row({std::to_string(n), std::to_string(d), fmt_bits(exact_bits),
-                   fmt_bits(approx_bits),
-                   fmt(static_cast<double>(exact_bits) /
-                       static_cast<double>(approx_bits))});
-  }
+    return Row{std::to_string(n), std::to_string(d), fmt_bits(exact_bits),
+               fmt_bits(approx_bits),
+               fmt(static_cast<double>(exact_bits) /
+                   static_cast<double>(approx_bits))};
+  });
+  for (const Row& row : rows) table.add_row(row);
   table.print();
 }
 
-void approx_accuracy_table() {
+void approx_accuracy_table(TrialFarm& farm) {
   // Paper: k^2 loglog n bits, within (1 +- 3.15/k) w.p. 99%.
   Table table({"k", "m = k^2", "tolerance 3.15/k", "trials",
                "within tolerance", "mean |rel err|"});
-  Xoshiro256 rng(7);
   const std::size_t n = 512;
   const std::size_t d = 300;
-  for (const unsigned k : {4u, 8u, 16u}) {
+  const std::vector<unsigned> ks{4, 8, 16};
+  const auto rows = farm.map<Row>(ks.size(), [&](std::size_t cell) {
+    const unsigned k = ks[cell];
     const unsigned m = k * k;
     constexpr int kTrials = 20;
+    Xoshiro256 rng(trial_seed(7, cell));
     int within = 0;
     double sum_err = 0;
     for (int t = 0; t < kTrials; ++t) {
@@ -82,32 +94,35 @@ void approx_accuracy_table() {
       sum_err += rel;
       if (rel <= 3.15 / k) ++within;
     }
-    table.add_row({std::to_string(k), std::to_string(m), fmt(3.15 / k, 3),
-                   std::to_string(kTrials), std::to_string(within),
-                   fmt(sum_err / kTrials, 4)});
-  }
+    return Row{std::to_string(k), std::to_string(m), fmt(3.15 / k, 3),
+               std::to_string(kTrials), std::to_string(within),
+               fmt(sum_err / kTrials, 4)};
+  });
+  for (const Row& row : rows) table.add_row(row);
   table.print();
 }
 
-void reduction_table() {
+void reduction_table(TrialFarm& farm) {
   Table table({"per-side n", "instance", "declared", "cut bits",
                "cut bits / n", "max bits/node"});
-  Xoshiro256 rng(11);
-  for (const std::size_t per_side : {16UL, 64UL, 256UL, 1024UL}) {
-    for (const bool disjoint : {true, false}) {
-      const auto inst = generate_disjointness(
-          per_side, disjoint ? 0 : per_side / 4, 1 << 24, rng);
-      const auto rep = core::solve_disjointness_via_count_distinct(
-          inst.side_a, inst.side_b);
-      table.add_row(
-          {std::to_string(per_side), disjoint ? "disjoint" : "overlapping",
-           rep.declared_disjoint ? "disjoint" : "overlapping",
-           fmt_bits(rep.cut_bits),
-           fmt(static_cast<double>(rep.cut_bits) /
-               static_cast<double>(per_side)),
-           fmt_bits(rep.max_node_bits)});
-    }
-  }
+  const std::vector<std::size_t> sides{16, 64, 256, 1024};
+  const auto rows = farm.map<Row>(2 * sides.size(), [&](std::size_t cell) {
+    const std::size_t per_side = sides[cell / 2];
+    const bool disjoint = cell % 2 == 0;
+    Xoshiro256 rng(trial_seed(11, cell));
+    const auto inst = generate_disjointness(
+        per_side, disjoint ? 0 : per_side / 4, 1 << 24, rng);
+    const auto rep = core::solve_disjointness_via_count_distinct(
+        inst.side_a, inst.side_b);
+    return Row{std::to_string(per_side),
+               disjoint ? "disjoint" : "overlapping",
+               rep.declared_disjoint ? "disjoint" : "overlapping",
+               fmt_bits(rep.cut_bits),
+               fmt(static_cast<double>(rep.cut_bits) /
+                   static_cast<double>(per_side)),
+               fmt_bits(rep.max_node_bits)};
+  });
+  for (const Row& row : rows) table.add_row(row);
   table.print();
   std::cout << "(cut bits / n approaching a constant ~= value-entropy "
                "confirms the Omega(n) information flow across the A|B "
@@ -260,15 +275,16 @@ void write_bench_json(const std::string& path) {
   std::cout << "wrote " << path << "\n";
 }
 
-void run() {
+void run(unsigned threads) {
   print_banner(
       "EXP-T51", "Theorem 5.1 + Section 5",
       "exact COUNT_DISTINCT is linear in D (and the 2SD reduction moves "
       "Omega(n) bits across the cut); hashed-LogLog approximation is flat "
       "in D and within (1 +- 3.15/k) w.p. ~99%");
-  linear_vs_flat_table();
-  approx_accuracy_table();
-  reduction_table();
+  TrialFarm farm(threads);
+  linear_vs_flat_table(farm);
+  approx_accuracy_table(farm);
+  reduction_table(farm);
 }
 
 }  // namespace
@@ -277,18 +293,22 @@ void run() {
 int main(int argc, char** argv) {
   std::string out_path;
   bool json_only = false;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--json-only") {
       json_only = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else {
-      std::cerr << "usage: exp_count_distinct [--out PATH] [--json-only]\n";
+      std::cerr << "usage: exp_count_distinct [--out PATH] [--json-only] "
+                   "[--threads N]\n";
       return 2;
     }
   }
-  if (!json_only) sensornet::bench::run();
+  if (!json_only) sensornet::bench::run(threads);
   if (!out_path.empty()) sensornet::bench::write_bench_json(out_path);
   return 0;
 }

@@ -4,10 +4,20 @@
 // gracefully, and gossip needs no structure at all — each at its own bit
 // price. This experiment injects message loss and measures who still
 // answers, how well, and at what cost.
+//
+// The loss sweep runs on the trial farm: each loss level is one matrix
+// cell, schedulable on any worker, and every cell derives its state from
+// its own DeploymentArena — so `--threads 8` prints byte-identical tables
+// to `--threads 1`.
+//
+// Usage: exp_robustness [--threads N]   (0 = hardware concurrency)
 #include <cmath>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/trial_farm.hpp"
 #include "src/proto/counting_service.hpp"
 #include "src/proto/gossip.hpp"
 #include "src/proto/multipath.hpp"
@@ -19,17 +29,33 @@
 namespace sensornet::bench {
 namespace {
 
-void loss_sweep() {
+struct LossRow {
+  std::string tree_outcome;
+  double mp_est = 0;
+  std::size_t covered = 0;
+  std::uint64_t mp_bits = 0;
+  double gossip_est = 0;
+  std::uint64_t gossip_bits = 0;
+  std::uint64_t rebuilds_avoided = 0;
+};
+
+void loss_sweep(TrialFarm& farm) {
   Table table({"loss", "tree wave", "multipath estimate", "coverage",
                "multipath bits/node", "gossip estimate", "gossip bits/node"});
   const std::size_t n = 144;  // 12x12 grid
   constexpr double kTruth = 144.0;
-  for (const double loss : {0.0, 0.05, 0.15, 0.30}) {
-    // Tree wave: does it complete at all?
-    std::string tree_outcome;
+  const std::vector<double> losses{0.0, 0.05, 0.15, 0.30};
+
+  // One cell per loss level. The three lanes inside a cell (tree /
+  // multipath / gossip) each used to rebuild the identical 12x12 grid
+  // deployment; a cell-local arena builds it once and resets between lanes.
+  const auto rows = farm.map<LossRow>(losses.size(), [&](std::size_t cell) {
+    const double loss = losses[cell];
+    DeploymentArena arena(net::TopologyKind::kGrid, n, WorkloadKind::kUniform,
+                          1 << 12, 42);
+    LossRow row;
     {
-      Deployment d = make_deployment(net::TopologyKind::kGrid, n,
-                                     WorkloadKind::kUniform, 1 << 12, 42);
+      Deployment& d = arena.lease();
       d.net->set_message_loss(loss);
       proto::LogLogAgg::Request req;
       req.registers = 128;
@@ -37,51 +63,54 @@ void loss_sweep() {
       proto::TreeWave<proto::LogLogAgg> wave(d.tree, 1);
       try {
         const auto regs = wave.execute(*d.net, req);
-        tree_outcome =
-            "ok (" + fmt(regs.estimate(), 0) + ")";
+        row.tree_outcome = "ok (" + fmt(regs.estimate(), 0) + ")";
       } catch (const ProtocolError&) {
-        tree_outcome = "STALLED";
+        row.tree_outcome = "STALLED";
       }
     }
-    // Multipath sweep.
-    double mp_est = 0;
-    std::size_t covered = 0;
-    std::uint64_t mp_bits = 0;
     {
-      Deployment d = make_deployment(net::TopologyKind::kGrid, n,
-                                     WorkloadKind::kUniform, 1 << 12, 42);
+      Deployment& d = arena.lease();
       d.net->set_message_loss(loss);
       proto::LogLogAgg::Request req;
       req.registers = 128;
       req.width = 6;
       const auto res = proto::multipath_loglog_sweep(*d.net, 0, req);
-      mp_est = res.registers.estimate();
-      covered = res.covered_nodes;
-      mp_bits = d.net->summary().max_node_bits;
+      row.mp_est = res.registers.estimate();
+      row.covered = res.covered_nodes;
+      row.mp_bits = d.net->summary().max_node_bits;
     }
     // Gossip needs rounds ~ mixing time; a 12x12 grid mixes in O(n) rounds
     // (the "diffusion speed" caveat the paper quotes about [6]), so this
-    // column runs 600 rounds. Lost mass biases push-sum downward.
-    double gossip_est = 0;
-    std::uint64_t gossip_bits = 0;
+    // lane runs 600 rounds. Lost mass biases push-sum downward.
     {
-      Deployment d = make_deployment(net::TopologyKind::kGrid, n,
-                                     WorkloadKind::kUniform, 1 << 12, 42);
+      Deployment& d = arena.lease();
       d.net->set_message_loss(loss);
-      gossip_est = proto::gossip_count(*d.net, 0, 600).root_estimate;
-      gossip_bits = d.net->summary().max_node_bits;
+      row.gossip_est = proto::gossip_count(*d.net, 0, 600).root_estimate;
+      row.gossip_bits = d.net->summary().max_node_bits;
     }
-    table.add_row({fmt(loss, 2), tree_outcome, fmt(mp_est, 0),
-                   std::to_string(covered) + "/" + std::to_string(n),
-                   fmt_bits(mp_bits), fmt(gossip_est, 0),
-                   fmt_bits(gossip_bits)});
+    row.rebuilds_avoided = arena.rebuilds_avoided();
+    return row;
+  });
+
+  std::uint64_t avoided = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LossRow& row = rows[i];
+    avoided += row.rebuilds_avoided;
+    table.add_row({fmt(losses[i], 2), row.tree_outcome, fmt(row.mp_est, 0),
+                   std::to_string(row.covered) + "/" + std::to_string(n),
+                   fmt_bits(row.mp_bits), fmt(row.gossip_est, 0),
+                   fmt_bits(row.gossip_bits)});
   }
   table.print();
   std::cout << "(truth = " << fmt(kTruth, 0)
             << ". Gossip under loss drops conserved mass, biasing the "
                "estimate down — push-sum assumes reliable channels; "
                "multipath's ODI registers only need one surviving path "
-               "per contribution.)\n\n";
+               "per contribution.)\n";
+  const auto& stats = farm.last_stats();
+  std::cout << "(farm: " << stats.threads << " worker(s), " << stats.cells
+            << " cells, " << stats.steals << " steal(s); arenas absorbed "
+            << avoided << " deployment rebuilds)\n\n";
 }
 
 void structure_cost_table() {
@@ -89,9 +118,12 @@ void structure_cost_table() {
   Table table({"protocol", "graph", "rounds", "estimate", "max bits/node",
                "needs tree?"});
   const std::size_t n = 256;
+  // Four of the five rows run on the identical grid deployment; the arena
+  // rebuilds none of them.
+  DeploymentArena grid_arena(net::TopologyKind::kGrid, n,
+                             WorkloadKind::kUniform, 1 << 12, 7);
   {
-    Deployment d = make_deployment(net::TopologyKind::kGrid, n,
-                                   WorkloadKind::kUniform, 1 << 12, 7);
+    Deployment& d = grid_arena.lease();
     proto::TreeCountingService svc(*d.net, d.tree);
     const auto c = svc.count_all();
     table.add_row({"tree COUNT (Fact 2.1)", "grid", "2h",
@@ -99,8 +131,7 @@ void structure_cost_table() {
                    fmt_bits(d.net->summary().max_node_bits), "yes"});
   }
   {
-    Deployment d = make_deployment(net::TopologyKind::kGrid, n,
-                                   WorkloadKind::kUniform, 1 << 12, 7);
+    Deployment& d = grid_arena.lease();
     proto::LogLogAgg::Request req;
     req.registers = 128;
     req.width = 6;
@@ -121,29 +152,42 @@ void structure_cost_table() {
                    fmt_bits(d.net->summary().max_node_bits), "no"});
   }
   for (const unsigned rounds : {80u, 800u}) {
-    Deployment d = make_deployment(net::TopologyKind::kGrid, n,
-                                   WorkloadKind::kUniform, 1 << 12, 7);
+    Deployment& d = grid_arena.lease();
     const auto res = proto::gossip_count(*d.net, 0, rounds);
     table.add_row({"push-sum gossip [6]", "grid", std::to_string(rounds),
                    fmt(res.root_estimate, 0),
                    fmt_bits(d.net->summary().max_node_bits), "no"});
   }
   table.print();
+  std::cout << "(grid arena served " << grid_arena.leases()
+            << " trials for 1 build — " << grid_arena.rebuilds_avoided()
+            << " rebuilds avoided)\n";
 }
 
-void run() {
+void run(unsigned threads) {
   print_banner("EXP-ROBUST", "Section 2.2 remark + [2]/[6]/[10]",
                "trees are cheap but fragile; ODI multipath pays redundancy "
                "for loss-tolerance; gossip needs no structure but more "
                "rounds — measured under injected message loss");
-  loss_sweep();
+  TrialFarm farm(threads);
+  loss_sweep(farm);
   structure_cost_table();
 }
 
 }  // namespace
 }  // namespace sensornet::bench
 
-int main() {
-  sensornet::bench::run();
+int main(int argc, char** argv) {
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: exp_robustness [--threads N]\n";
+      return 2;
+    }
+  }
+  sensornet::bench::run(threads);
   return 0;
 }

@@ -1,28 +1,45 @@
 // PERF — simulator hot-path benchmark with an in-run seed baseline.
 //
-// Runs a scenario matrix (line / grid / random-geometric / complete
-// single-hop topologies, with and without message loss, across a unicast /
-// broadcast / tree-wave protocol mix) on BOTH the production simulator
-// (CSR graph + shared payload slabs + calendar queue) and a faithful replica
-// of the seed simulator (bench/util/legacy_sim.hpp), in the same process,
-// and emits BENCH_PR2.json with deliveries/sec, ns/delivery and peak
-// in-flight bytes for each, plus the speedup ratio. Delivery counts are
-// cross-checked between the two implementations — a mismatch means the
-// rearchitected event loop changed semantics, and the row is flagged.
+// Three sections, one report (BENCH_PR7.json):
 //
-// Usage: perf_driver [--quick] [--out PATH]
-//   --quick   smaller scenario sizes (CI smoke lane)
-//   --out     output JSON path (default: BENCH_PR2.json)
+//  1. Parity matrix — runs a scenario matrix (line / grid / random-geometric
+//     / complete single-hop topologies, with and without message loss,
+//     across a unicast / broadcast / tree-wave protocol mix) on BOTH the
+//     production simulator (CSR graph + shared payload slabs + calendar
+//     queue) and a faithful replica of the seed simulator
+//     (bench/util/legacy_sim.hpp), in the same process. Delivery counts are
+//     cross-checked between the two implementations — a mismatch means the
+//     rearchitected event loop changed semantics, and the row is flagged.
+//     Matrix cells are scheduled by the work-stealing trial farm.
+//
+//  2. Thread scaling — one wave workload, many trials, executed at worker
+//     counts 1/2/4/8. Every trial seeds from trial_seed(master, cell), so a
+//     checksum over the per-trial outcomes must be identical at every
+//     worker count; the report records wall-clock speedup AND that
+//     determinism check. hardware_threads is recorded because speedup is
+//     physically bounded by the cores actually present.
+//
+//  3. Scale ladder — grid and random-geometric deployments from 2^14 to
+//     2^20 nodes: topology + tree build time, simulated deliveries/sec,
+//     peak in-flight queue bytes, and the process RSS high-water mark.
+//
+// Usage: perf_driver [--quick] [--out PATH] [--threads N]
+//   --quick    smaller scenario sizes (CI smoke lane)
+//   --out      output JSON path (default: BENCH_PR7.json)
+//   --threads  farm workers; 0 = hardware concurrency (default),
+//              1 reproduces the pre-farm serial driver exactly
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/common/trial_farm.hpp"
 #include "src/net/spanning_tree.hpp"
 #include "src/net/topology.hpp"
 #include "src/sim/network.hpp"
@@ -288,6 +305,21 @@ RunMetrics measure(Net& net, Body&& body) {
   return m;
 }
 
+/// Process RSS high-water mark (VmHWM), in KiB; 0 where /proc is absent.
+std::size_t read_vm_hwm_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::size_t kb = 0;
+      fields >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
 /// Runs one scenario on both simulator generations over the same graph and
 /// the same (seeded) loss stream. Legacy goes first; any allocator warm-up
 /// therefore favors the baseline, not us.
@@ -313,14 +345,291 @@ ScenarioResult run_scenario(std::string name, std::string topology,
     res.fresh = measure(fresh, body);
   }
   res.deliveries_match = res.fresh.deliveries == res.legacy.deliveries;
+  return res;
+}
 
+void print_scenario(const ScenarioResult& res) {
   std::cout << std::left << std::setw(34) << res.name << " legacy "
             << std::setw(10) << std::right << std::fixed
             << std::setprecision(0) << res.legacy.deliveries_per_sec()
             << "/s   new " << std::setw(10) << res.fresh.deliveries_per_sec()
             << "/s   x" << std::setprecision(2) << res.speedup()
             << (res.deliveries_match ? "" : "   [DELIVERY MISMATCH]") << "\n";
-  return res;
+}
+
+// ---------------------------------------------------------------------------
+// The parity matrix.
+// ---------------------------------------------------------------------------
+struct Scale {
+  std::size_t storm_nodes, storm_rounds;
+  std::size_t wave_lanes;
+  std::size_t line_nodes, line_batches;
+  std::size_t grid_side, grid_batches;
+  std::size_t geo_nodes, geo_batches;
+  std::size_t seq_waves;
+  std::size_t relay_nodes, relay_passes;
+  std::size_t burst_grid_side, burst_grid_rounds;
+  std::size_t burst_geo_nodes, burst_geo_rounds;
+  // thread-scaling section
+  std::size_t scaling_trials, scaling_grid_side, scaling_lanes,
+      scaling_batches;
+  // scale ladder: log2 of the node counts to visit
+  std::vector<unsigned> scale_exponents;
+};
+
+// Sized so every timed region runs for tens of milliseconds at seed-era
+// throughput — long enough that steady_clock jitter stays in the noise.
+const Scale kFull{256,  40, 32, 2048, 8,  64, 4, 2048, 6, 150,
+                  4096, 400, 64, 25, 2048, 40,
+                  32, 48, 8, 3, {14, 15, 16, 17, 18, 19, 20}};
+const Scale kQuick{96,  25, 32, 512, 4,  32, 2, 512, 3, 40,
+                   1024, 80, 32, 8, 512, 10,
+                   8, 24, 4, 2, {14, 15}};
+
+std::vector<ScenarioResult> run_matrix(const Scale& s, TrialFarm& farm) {
+  const auto tag = [](const char* base, double loss) {
+    return std::string(base) + (loss > 0.0 ? "/loss10" : "/loss0");
+  };
+
+  // Shared, compacted, strictly-const graphs: safe for concurrent cells.
+  Xoshiro256 topo_rng(2024);
+  const net::Graph complete = net::make_complete(s.storm_nodes);
+  const net::Graph line = net::make_line(s.line_nodes);
+  const net::Graph grid = net::make_grid(s.grid_side, s.grid_side);
+  const net::Graph geo =
+      net::make_topology(net::TopologyKind::kGeometric, s.geo_nodes, topo_rng);
+  const net::Graph relay_line = net::make_line(s.relay_nodes);
+  const net::Graph burst_grid =
+      net::make_grid(s.burst_grid_side, s.burst_grid_side);
+  const net::Graph burst_geo = net::make_topology(
+      net::TopologyKind::kGeometric, s.burst_geo_nodes, topo_rng);
+
+  const net::SpanningTree line_tree = net::bfs_tree(line, 0);
+  const net::SpanningTree grid_tree = net::bfs_tree(grid, 0);
+  const net::SpanningTree geo_tree = net::bfs_tree(geo, 0);
+
+  // Cells close over the shared graphs and their own parameters; each
+  // builds private legacy + fresh networks, so any worker may run any cell.
+  std::vector<std::function<ScenarioResult()>> cells;
+  for (const double loss : {0.0, 0.1}) {
+    cells.push_back([&, loss] {
+      return run_scenario(
+          tag("storm/complete", loss), "complete", "broadcast-storm",
+          complete, loss, [&](auto& net) {
+            return broadcast_storm(net, static_cast<unsigned>(s.storm_rounds));
+          });
+    });
+    cells.push_back([&, loss] {
+      return run_scenario(
+          tag("wave/line", loss), "line", "tree-wave", line, loss,
+          [&](auto& net) {
+            return tree_waves(net, line_tree,
+                              static_cast<unsigned>(s.wave_lanes),
+                              static_cast<unsigned>(s.line_batches));
+          });
+    });
+    cells.push_back([&, loss] {
+      return run_scenario(
+          tag("wave/grid", loss), "grid", "tree-wave", grid, loss,
+          [&](auto& net) {
+            return tree_waves(net, grid_tree,
+                              static_cast<unsigned>(s.wave_lanes),
+                              static_cast<unsigned>(s.grid_batches));
+          });
+    });
+    cells.push_back([&, loss] {
+      return run_scenario(
+          tag("wave/geometric", loss), "geometric", "tree-wave", geo, loss,
+          [&](auto& net) {
+            return tree_waves(net, geo_tree,
+                              static_cast<unsigned>(s.wave_lanes),
+                              static_cast<unsigned>(s.geo_batches));
+          });
+    });
+    // Reference row: one wave at a time (a root that idles between
+    // queries). With at most a handful of messages in flight there is no
+    // queue pressure for the calendar to relieve; expect parity-to-modest
+    // gains here, not the headline ratio.
+    cells.push_back([&, loss] {
+      return run_scenario(
+          tag("waveseq/grid", loss), "grid", "tree-wave-seq", grid, loss,
+          [&](auto& net) {
+            return tree_waves(net, grid_tree, /*lanes=*/1,
+                              static_cast<unsigned>(s.seq_waves));
+          });
+    });
+    cells.push_back([&, loss] {
+      return run_scenario(
+          tag("relay/line", loss), "line", "unicast-relay", relay_line, loss,
+          [&](auto& net) {
+            return line_relay(net, static_cast<unsigned>(s.relay_passes));
+          });
+    });
+    cells.push_back([&, loss] {
+      return run_scenario(
+          tag("burst/grid", loss), "grid", "neighbor-burst", burst_grid, loss,
+          [&](auto& net) {
+            return neighbor_burst(net, net.graph(),
+                                  static_cast<unsigned>(s.burst_grid_rounds));
+          });
+    });
+    cells.push_back([&, loss] {
+      return run_scenario(
+          tag("burst/geometric", loss), "geometric", "neighbor-burst",
+          burst_geo, loss, [&](auto& net) {
+            return neighbor_burst(net, net.graph(),
+                                  static_cast<unsigned>(s.burst_geo_rounds));
+          });
+    });
+  }
+
+  auto results = farm.map<ScenarioResult>(
+      cells.size(), [&](std::size_t cell) { return cells[cell](); });
+  for (const auto& r : results) print_scenario(r);
+  const auto& fs = farm.last_stats();
+  std::cout << "(farm: " << fs.threads << " worker(s), " << fs.cells
+            << " cells, " << fs.steals << " steal(s))\n";
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-scaling section: same trials, varying worker counts.
+// ---------------------------------------------------------------------------
+struct ScalingRow {
+  unsigned threads = 0;
+  double seconds = 0.0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t checksum = 0;  // over per-trial outcomes, order-stable
+
+  double events_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(deliveries) / seconds : 0.0;
+  }
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (x >> (8 * byte)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::vector<ScalingRow> run_thread_scaling(const Scale& s) {
+  constexpr std::uint64_t kMaster = 0x7a11;
+  const net::Graph grid =
+      net::make_grid(s.scaling_grid_side, s.scaling_grid_side);
+  const net::SpanningTree tree = net::bfs_tree(grid, 0);
+
+  struct Outcome {
+    std::uint64_t deliveries = 0;
+    std::uint64_t max_node_bits = 0;
+    std::size_t peak = 0;
+  };
+  // Even trials run lossless, odd trials at 10% loss: the checksum also
+  // certifies that the loss stream is a function of the trial seed alone.
+  const auto trial = [&](std::size_t cell) {
+    sim::Network net(grid, trial_seed(kMaster, cell));
+    net.set_message_loss(cell % 2 == 1 ? 0.1 : 0.0);
+    Outcome o;
+    o.deliveries =
+        tree_waves(net, tree, static_cast<unsigned>(s.scaling_lanes),
+                   static_cast<unsigned>(s.scaling_batches));
+    o.max_node_bits = net.summary().max_node_bits;
+    o.peak = net.peak_in_flight_bytes();
+    return o;
+  };
+
+  std::vector<ScalingRow> rows;
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    TrialFarm farm(t);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcomes = farm.map<Outcome>(s.scaling_trials, trial);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ScalingRow row;
+    row.threads = t;
+    row.seconds = std::chrono::duration<double>(t1 - t0).count();
+    row.steals = farm.last_stats().steals;
+    row.checksum = 0xcbf29ce484222325ULL;
+    for (const Outcome& o : outcomes) {
+      row.deliveries += o.deliveries;
+      row.checksum = fnv1a(row.checksum, o.deliveries);
+      row.checksum = fnv1a(row.checksum, o.max_node_bits);
+      row.checksum = fnv1a(row.checksum, o.peak);
+    }
+    rows.push_back(row);
+    std::cout << "threads " << t << ": " << std::fixed << std::setprecision(3)
+              << row.seconds << " s, " << std::setprecision(0)
+              << row.events_per_sec() << " deliveries/s, checksum "
+              << std::hex << row.checksum << std::dec << ", " << row.steals
+              << " steal(s)\n";
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Scale ladder: grid + geometric deployments, 2^14 .. 2^20 nodes.
+// ---------------------------------------------------------------------------
+struct ScaleRow {
+  std::string topology;
+  std::size_t nodes = 0;
+  double build_seconds = 0.0;  // graph + BFS tree
+  double run_seconds = 0.0;
+  std::uint64_t deliveries = 0;
+  std::size_t peak_in_flight_bytes = 0;
+  std::size_t vm_hwm_kb = 0;
+
+  double events_per_sec() const {
+    return run_seconds > 0.0
+               ? static_cast<double>(deliveries) / run_seconds
+               : 0.0;
+  }
+};
+
+std::vector<ScaleRow> run_scale_ladder(const Scale& s) {
+  std::vector<ScaleRow> rows;
+  for (const unsigned exp : s.scale_exponents) {
+    const std::size_t n = std::size_t{1} << exp;
+    for (const bool geometric : {false, true}) {
+      using Clock = std::chrono::steady_clock;
+      ScaleRow row;
+      row.topology = geometric ? "geometric" : "grid";
+
+      const auto b0 = Clock::now();
+      net::Graph graph(0);
+      if (geometric) {
+        Xoshiro256 rng(trial_seed(2024, exp));
+        graph = net::make_topology(net::TopologyKind::kGeometric, n, rng);
+      } else {
+        // rows * cols == 2^exp exactly, and as square as a power of two gets
+        graph = net::make_grid(std::size_t{1} << ((exp + 1) / 2),
+                               std::size_t{1} << (exp / 2));
+      }
+      const net::SpanningTree tree = net::bfs_tree(graph, 0);
+      const auto b1 = Clock::now();
+      row.nodes = graph.node_count();
+      row.build_seconds = std::chrono::duration<double>(b1 - b0).count();
+
+      sim::Network net(std::move(graph), trial_seed(0x5ca1e, exp));
+      const auto r0 = Clock::now();
+      row.deliveries = tree_waves(net, tree, /*lanes=*/2, /*batches=*/1);
+      const auto r1 = Clock::now();
+      row.run_seconds = std::chrono::duration<double>(r1 - r0).count();
+      row.peak_in_flight_bytes = net.peak_in_flight_bytes();
+      row.vm_hwm_kb = read_vm_hwm_kb();
+
+      std::cout << "scale/" << row.topology << " 2^" << exp << " ("
+                << row.nodes << " nodes): build " << std::fixed
+                << std::setprecision(2) << row.build_seconds << " s, "
+                << std::setprecision(0) << row.events_per_sec()
+                << " deliveries/s, peak in-flight "
+                << row.peak_in_flight_bytes / 1024 << " KiB, RSS HWM "
+                << row.vm_hwm_kb / 1024 << " MiB\n";
+      rows.push_back(row);
+    }
+  }
+  return rows;
 }
 
 // ---------------------------------------------------------------------------
@@ -341,7 +650,9 @@ void write_metrics(std::ostream& os, const char* key, const RunMetrics& m,
 }
 
 void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
-                bool quick) {
+                const std::vector<ScalingRow>& scaling,
+                const std::vector<ScaleRow>& scale, bool quick,
+                unsigned threads) {
   double broadcast_min = 0.0;
   double wave_min = 0.0;
   bool all_match = true;
@@ -355,11 +666,25 @@ void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
       wave_min = wave_min == 0.0 ? r.speedup() : std::min(wave_min, r.speedup());
     }
   }
+  bool deterministic = true;
+  for (const auto& row : scaling) {
+    deterministic = deterministic && row.checksum == scaling.front().checksum;
+  }
+  const double serial_seconds = scaling.empty() ? 0.0 : scaling.front().seconds;
+  double best_parallel_speedup = 0.0;
+  for (const auto& row : scaling) {
+    if (row.seconds > 0.0 && serial_seconds > 0.0) {
+      best_parallel_speedup =
+          std::max(best_parallel_speedup, serial_seconds / row.seconds);
+    }
+  }
 
   os << "{\n"
-     << "  \"bench\": \"BENCH_PR2\",\n"
+     << "  \"bench\": \"BENCH_PR7\",\n"
      << "  \"schema_version\": 1,\n"
      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"hardware_threads\": " << resolve_thread_count(0) << ",\n"
      << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -379,6 +704,44 @@ void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
        << "\n";
   }
   os << "  ],\n"
+     << "  \"thread_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& row = scaling[i];
+    os << "    {\n"
+       << "      \"threads\": " << row.threads << ",\n"
+       << "      \"seconds\": " << std::setprecision(6) << std::fixed
+       << row.seconds << ",\n"
+       << "      \"deliveries\": " << row.deliveries << ",\n"
+       << "      \"events_per_sec\": " << std::setprecision(1)
+       << row.events_per_sec() << ",\n"
+       << "      \"speedup_vs_serial\": " << std::setprecision(3)
+       << (row.seconds > 0.0 && serial_seconds > 0.0
+               ? serial_seconds / row.seconds
+               : 0.0)
+       << ",\n"
+       << "      \"steals\": " << row.steals << ",\n"
+       << "      \"checksum\": \"" << std::hex << row.checksum << std::dec
+       << "\"\n    }" << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"scale\": [\n";
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    const auto& row = scale[i];
+    os << "    {\n"
+       << "      \"topology\": \"" << row.topology << "\",\n"
+       << "      \"nodes\": " << row.nodes << ",\n"
+       << "      \"build_seconds\": " << std::setprecision(6) << std::fixed
+       << row.build_seconds << ",\n"
+       << "      \"run_seconds\": " << row.run_seconds << ",\n"
+       << "      \"deliveries\": " << row.deliveries << ",\n"
+       << "      \"events_per_sec\": " << std::setprecision(1)
+       << row.events_per_sec() << ",\n"
+       << "      \"peak_in_flight_bytes\": " << row.peak_in_flight_bytes
+       << ",\n"
+       << "      \"vm_hwm_kb\": " << row.vm_hwm_kb << "\n    }"
+       << (i + 1 < scale.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
      << "  \"summary\": {\n"
      << "    \"all_deliveries_match\": " << (all_match ? "true" : "false")
      << ",\n"
@@ -390,109 +753,11 @@ void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
      << "    \"broadcast_target_met\": "
      << (broadcast_min >= 3.0 ? "true" : "false") << ",\n"
      << "    \"tree_wave_target_met\": " << (wave_min >= 1.5 ? "true" : "false")
+     << ",\n"
+     << "    \"deterministic_across_thread_counts\": "
+     << (deterministic ? "true" : "false") << ",\n"
+     << "    \"best_parallel_speedup\": " << best_parallel_speedup
      << "\n  }\n}\n";
-}
-
-// ---------------------------------------------------------------------------
-// The scenario matrix.
-// ---------------------------------------------------------------------------
-struct Scale {
-  std::size_t storm_nodes, storm_rounds;
-  std::size_t wave_lanes;
-  std::size_t line_nodes, line_batches;
-  std::size_t grid_side, grid_batches;
-  std::size_t geo_nodes, geo_batches;
-  std::size_t seq_waves;
-  std::size_t relay_nodes, relay_passes;
-  std::size_t burst_grid_side, burst_grid_rounds;
-  std::size_t burst_geo_nodes, burst_geo_rounds;
-};
-
-// Sized so every timed region runs for tens of milliseconds at seed-era
-// throughput — long enough that steady_clock jitter stays in the noise.
-constexpr Scale kFull{256, 40, 32, 2048, 8, 64, 4, 2048, 6, 150,
-                      4096, 400, 64, 25, 2048, 40};
-constexpr Scale kQuick{96, 25, 32, 512, 4, 32, 2, 512, 3, 40,
-                       1024, 80, 32, 8, 512, 10};
-
-std::vector<ScenarioResult> run_matrix(const Scale& s) {
-  std::vector<ScenarioResult> results;
-  const auto tag = [](const char* base, double loss) {
-    return std::string(base) + (loss > 0.0 ? "/loss10" : "/loss0");
-  };
-
-  Xoshiro256 topo_rng(2024);
-  const net::Graph complete = net::make_complete(s.storm_nodes);
-  const net::Graph line = net::make_line(s.line_nodes);
-  const net::Graph grid = net::make_grid(s.grid_side, s.grid_side);
-  const net::Graph geo =
-      net::make_topology(net::TopologyKind::kGeometric, s.geo_nodes, topo_rng);
-  const net::Graph relay_line = net::make_line(s.relay_nodes);
-  const net::Graph burst_grid =
-      net::make_grid(s.burst_grid_side, s.burst_grid_side);
-  const net::Graph burst_geo = net::make_topology(
-      net::TopologyKind::kGeometric, s.burst_geo_nodes, topo_rng);
-
-  const net::SpanningTree line_tree = net::bfs_tree(line, 0);
-  const net::SpanningTree grid_tree = net::bfs_tree(grid, 0);
-  const net::SpanningTree geo_tree = net::bfs_tree(geo, 0);
-
-  for (const double loss : {0.0, 0.1}) {
-    results.push_back(run_scenario(
-        tag("storm/complete", loss), "complete", "broadcast-storm", complete,
-        loss, [&](auto& net) {
-          return broadcast_storm(net, static_cast<unsigned>(s.storm_rounds));
-        }));
-    results.push_back(run_scenario(
-        tag("wave/line", loss), "line", "tree-wave", line, loss,
-        [&](auto& net) {
-          return tree_waves(net, line_tree,
-                            static_cast<unsigned>(s.wave_lanes),
-                            static_cast<unsigned>(s.line_batches));
-        }));
-    results.push_back(run_scenario(
-        tag("wave/grid", loss), "grid", "tree-wave", grid, loss,
-        [&](auto& net) {
-          return tree_waves(net, grid_tree,
-                            static_cast<unsigned>(s.wave_lanes),
-                            static_cast<unsigned>(s.grid_batches));
-        }));
-    results.push_back(run_scenario(
-        tag("wave/geometric", loss), "geometric", "tree-wave", geo, loss,
-        [&](auto& net) {
-          return tree_waves(net, geo_tree,
-                            static_cast<unsigned>(s.wave_lanes),
-                            static_cast<unsigned>(s.geo_batches));
-        }));
-    // Reference row: one wave at a time (a root that idles between
-    // queries). With at most a handful of messages in flight there is no
-    // queue pressure for the calendar to relieve; expect parity-to-modest
-    // gains here, not the headline ratio.
-    results.push_back(run_scenario(
-        tag("waveseq/grid", loss), "grid", "tree-wave-seq", grid, loss,
-        [&](auto& net) {
-          return tree_waves(net, grid_tree, /*lanes=*/1,
-                            static_cast<unsigned>(s.seq_waves));
-        }));
-    results.push_back(run_scenario(
-        tag("relay/line", loss), "line", "unicast-relay", relay_line, loss,
-        [&](auto& net) {
-          return line_relay(net, static_cast<unsigned>(s.relay_passes));
-        }));
-    results.push_back(run_scenario(
-        tag("burst/grid", loss), "grid", "neighbor-burst", burst_grid, loss,
-        [&](auto& net) {
-          return neighbor_burst(net, net.graph(),
-                                static_cast<unsigned>(s.burst_grid_rounds));
-        }));
-    results.push_back(run_scenario(
-        tag("burst/geometric", loss), "geometric", "neighbor-burst", burst_geo,
-        loss, [&](auto& net) {
-          return neighbor_burst(net, net.graph(),
-                                static_cast<unsigned>(s.burst_geo_rounds));
-        }));
-  }
-  return results;
 }
 
 }  // namespace
@@ -501,35 +766,54 @@ std::vector<ScenarioResult> run_matrix(const Scale& s) {
 int main(int argc, char** argv) {
   using namespace sensornet::bench;
   bool quick = false;
-  std::string out_path = "BENCH_PR2.json";
+  std::string out_path = "BENCH_PR7.json";
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else {
-      std::cerr << "usage: perf_driver [--quick] [--out PATH]\n";
+      std::cerr << "usage: perf_driver [--quick] [--out PATH] [--threads N]\n";
       return 2;
     }
   }
 
+  const Scale& s = quick ? kQuick : kFull;
+  sensornet::TrialFarm farm(threads);
   std::cout << "PERF simulator hot-path benchmark ("
-            << (quick ? "quick" : "full") << " matrix)\n\n";
-  const auto results = run_matrix(quick ? kQuick : kFull);
+            << (quick ? "quick" : "full") << " matrix, " << farm.threads()
+            << " worker(s))\n\n";
+  const auto results = run_matrix(s, farm);
+  std::cout << "\n## thread scaling (hardware threads: "
+            << sensornet::resolve_thread_count(0) << ")\n";
+  const auto scaling = run_thread_scaling(s);
+  std::cout << "\n## scale ladder\n";
+  const auto scale_rows = run_scale_ladder(s);
 
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open " << out_path << " for writing\n";
     return 1;
   }
-  write_json(out, results, quick);
+  write_json(out, results, scaling, scale_rows, quick, farm.threads());
   std::cout << "\nwrote " << out_path << "\n";
 
   for (const auto& r : results) {
     if (!r.deliveries_match) {
       std::cerr << "FATAL: delivery count mismatch in " << r.name
                 << " — semantics drift between simulator generations\n";
+      return 1;
+    }
+  }
+  for (const auto& row : scaling) {
+    if (row.checksum != scaling.front().checksum) {
+      std::cerr << "FATAL: thread-scaling checksum diverged at "
+                << row.threads << " workers — scheduling leaked into "
+                << "trial outcomes\n";
       return 1;
     }
   }

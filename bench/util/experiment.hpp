@@ -24,6 +24,45 @@ Deployment make_deployment(net::TopologyKind topology, std::size_t n,
                            WorkloadKind workload, Value max_value,
                            std::uint64_t seed);
 
+/// Reusable deployment for repeated trials over one configuration.
+///
+/// Building a deployment pays for topology construction, BFS-tree rooting
+/// and workload generation; a trial only needs fresh *simulation* state.
+/// The arena builds the skeleton once and re-arms the network per lease via
+/// sim::Network::reset(), which leaves it byte-identical to the Deployment
+/// make_deployment() would return for the same arguments — loss probability
+/// and watched edges are cleared, so trials re-apply their own knobs.
+///
+/// Not thread-safe: under a TrialFarm, give each matrix cell its own arena
+/// (cells that share one would race on the single cached network).
+class DeploymentArena {
+ public:
+  DeploymentArena(net::TopologyKind topology, std::size_t n,
+                  WorkloadKind workload, Value max_value, std::uint64_t seed)
+      : seed_(seed),
+        deployment_(make_deployment(topology, n, workload, max_value, seed)) {
+  }
+
+  /// The cached deployment, reset to its freshly built state.
+  Deployment& lease() {
+    ++leases_;
+    if (leases_ > 1) deployment_.net->reset(seed_ ^ 0x9e37);
+    return deployment_;
+  }
+
+  /// Trials served so far.
+  std::uint64_t leases() const { return leases_; }
+  /// Topology + tree + workload constructions the cache absorbed.
+  std::uint64_t rebuilds_avoided() const {
+    return leases_ > 0 ? leases_ - 1 : 0;
+  }
+
+ private:
+  std::uint64_t seed_;
+  Deployment deployment_;
+  std::uint64_t leases_ = 0;
+};
+
 /// Max bits (sent+received) any node paid between two snapshots.
 std::uint64_t window_max_node_bits(
     const sim::Network& net, const std::vector<sim::NodeCommStats>& before);

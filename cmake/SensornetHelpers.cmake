@@ -13,12 +13,14 @@ function(sensornet_add_library name)
   target_link_libraries(${name} PUBLIC ${ARG_DEPS} PRIVATE sensornet::build_flags)
 endfunction()
 
-# sensornet_add_test(<stem>_test.cpp LIB <layer-lib>... [LABEL <label>])
+# sensornet_add_test(<stem>_test.cpp LIB <layer-lib>... [LABEL <labels>])
 #
 # One gtest suite, registered with ctest as <dirname>_<stem> and labeled
-# `unit` (default) or `integration` so CI lanes can select subsets.
+# `unit` (default) or `integration` so CI lanes can select subsets. LABEL
+# accepts a semicolon-separated list (e.g. "unit;scheduler") for suites
+# that belong to more than one lane.
 function(sensornet_add_test src)
-  cmake_parse_arguments(ARG "" "LABEL" "LIB" ${ARGN})
+  cmake_parse_arguments(ARG "" "" "LIB;LABEL" ${ARGN})
   if(NOT ARG_LABEL)
     set(ARG_LABEL unit)
   endif()
@@ -29,7 +31,7 @@ function(sensornet_add_test src)
   target_link_libraries(${name} PRIVATE ${ARG_LIB} GTest::gtest_main sensornet::build_flags)
   add_test(NAME ${name} COMMAND ${name})
   # Generous timeout: sanitizer Debug builds are ~40x slower than Release.
-  set_tests_properties(${name} PROPERTIES LABELS ${ARG_LABEL} TIMEOUT 900)
+  set_tests_properties(${name} PROPERTIES LABELS "${ARG_LABEL}" TIMEOUT 900)
 endfunction()
 
 # sensornet_add_bench(<name>.cpp DEPS ...) — one benchmark executable.

@@ -40,7 +40,7 @@ std::int64_t affine_unscale(std::int64_t y, std::int64_t lo,
   return lo + static_cast<std::int64_t>(q);
 }
 
-std::size_t rank_below(const ValueSet& xs, Value y) {
+std::size_t rank_below(std::span<const Value> xs, Value y) {
   std::size_t c = 0;
   for (const Value x : xs) {
     if (x < y) ++c;

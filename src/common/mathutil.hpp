@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "src/common/types.hpp"
 
@@ -29,7 +30,8 @@ std::int64_t affine_unscale(std::int64_t y, std::int64_t lo,
 
 /// Number of items in `xs` strictly smaller than `y` — the paper's
 /// rank function l_X(y) (Notation 2.2), used as ground truth in tests.
-std::size_t rank_below(const ValueSet& xs, Value y);
+/// Takes a span so both ValueSets and the simulator's slab views qualify.
+std::size_t rank_below(std::span<const Value> xs, Value y);
 
 /// Reference k-order statistic per Definition 2.3, computed by sorting:
 /// the y with l(y) < k and l(y+1) >= k, where k may be half-integral and is

@@ -1,0 +1,127 @@
+#include "src/common/trial_farm.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/common/error.hpp"
+#include "src/common/hash.hpp"
+
+namespace sensornet {
+
+std::uint64_t trial_seed(std::uint64_t master_seed, std::uint64_t cell) {
+  // Two dependent splitmix64 finalizations: the first decorrelates master
+  // seeds that differ in few bits, the second separates adjacent cells.
+  return splitmix64(splitmix64(master_seed) ^
+                    (0x9e3779b97f4a7c15ULL * (cell + 1)));
+}
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+TrialFarm::TrialFarm(unsigned threads)
+    : threads_(resolve_thread_count(threads)) {}
+
+namespace {
+
+/// One worker's share of the matrix. A plain deque under a private mutex:
+/// the owner pops from the front, thieves take from the back.
+struct WorkDeque {
+  std::mutex mu;
+  std::deque<std::size_t> cells;
+
+  bool pop_front(std::size_t& cell) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cells.empty()) return false;
+    cell = cells.front();
+    cells.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t& cell) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cells.empty()) return false;
+    cell = cells.back();
+    cells.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+void TrialFarm::for_each(std::size_t cells,
+                         const std::function<void(std::size_t)>& body) {
+  last_stats_ = FarmStats{};
+  last_stats_.cells = cells;
+  if (cells == 0) {
+    last_stats_.threads = 1;
+    return;
+  }
+
+  // Never spawn more workers than cells; a one-worker pool degenerates to
+  // the inline path so `--threads 1` is literally today's serial loop.
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, cells));
+  last_stats_.threads = workers;
+  if (workers == 1) {
+    for (std::size_t cell = 0; cell < cells; ++cell) body(cell);
+    return;
+  }
+
+  // Deal contiguous blocks: worker w owns [w*cells/workers, (w+1)*cells/..).
+  // Owners drain front-to-back, so cache-adjacent cells stay adjacent; the
+  // tail of each block is what thieves nibble.
+  std::vector<WorkDeque> deques(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = cells * w / workers;
+    const std::size_t hi = cells * (w + 1) / workers;
+    for (std::size_t cell = lo; cell < hi; ++cell) {
+      deques[w].cells.push_back(cell);
+    }
+  }
+
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto worker_loop = [&](unsigned self) {
+    std::size_t cell = 0;
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      bool got = deques[self].pop_front(cell);
+      if (!got) {
+        // Round-robin victim scan starting after self; one full silent lap
+        // means every deque is empty and the matrix is drained.
+        for (unsigned hop = 1; hop < workers && !got; ++hop) {
+          got = deques[(self + hop) % workers].steal_back(cell);
+        }
+        if (!got) return;
+        steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      try {
+        body(cell);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_loop, w);
+  for (auto& t : pool) t.join();
+
+  last_stats_.steals = steals.load(std::memory_order_relaxed);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sensornet

@@ -6,7 +6,12 @@
 
 namespace sensornet::net {
 
-Graph::Graph(std::size_t node_count) : staging_(node_count) {}
+Graph::Graph(std::size_t node_count) : staging_(node_count) {
+  // An edgeless graph is trivially compacted; readers of a fresh Graph
+  // (e.g. connected() on a 1-node deployment) must not trip the stale
+  // assert.
+  finalize();
+}
 
 void Graph::check_node(NodeId u) const {
   if (u >= staging_.size()) {
@@ -32,6 +37,11 @@ void Graph::add_edge(NodeId u, NodeId v) {
   csr_stale_ = true;
 }
 
+Graph& Graph::compact() {
+  if (csr_stale_) finalize();
+  return *this;
+}
+
 void Graph::finalize() const {
   const std::size_t n = staging_.size();
   offsets_.assign(n + 1, 0);
@@ -51,7 +61,7 @@ void Graph::finalize() const {
 bool Graph::has_edge(NodeId u, NodeId v) const {
   check_node(u);
   check_node(v);
-  if (csr_stale_) finalize();
+  require_compacted();
   const bool u_smaller =
       offsets_[u + 1] - offsets_[u] <= offsets_[v + 1] - offsets_[v];
   const NodeId probe = u_smaller ? u : v;
@@ -82,13 +92,13 @@ std::size_t Graph::max_degree() const {
 
 std::span<const NodeId> Graph::neighbors(NodeId u) const {
   check_node(u);
-  if (csr_stale_) finalize();
+  require_compacted();
   return {csr_.data() + offsets_[u], csr_.data() + offsets_[u + 1]};
 }
 
 bool Graph::connected() const {
   if (staging_.empty()) return true;
-  if (csr_stale_) finalize();
+  require_compacted();
   std::vector<bool> seen(staging_.size(), false);
   std::vector<NodeId> stack{0};
   seen[0] = true;

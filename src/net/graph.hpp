@@ -1,6 +1,7 @@
 // Undirected communication graph of the sensor deployment.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -13,21 +14,37 @@ namespace sensornet::net {
 /// Simple undirected graph over nodes 0..n-1. Parallel edges and self-loops
 /// are rejected.
 ///
-/// Edges are staged into per-node adjacency lists as they are added; the
-/// first query (`neighbors`, `has_edge`, `connected`) lazily compacts them
-/// into a CSR (compressed sparse row) image with each neighbor range sorted
-/// ascending. The simulator's hot path then gets O(log deg) edge membership
-/// tests (binary search within one range) and contiguous, cache-friendly
-/// neighbor scans instead of pointer-chasing a vector-of-vectors. Adding an
-/// edge after a query simply marks the CSR stale; it is rebuilt on the next
-/// query. Not thread-safe (the lazy rebuild mutates shared state).
+/// Edges are staged into per-node adjacency lists as they are added and then
+/// compacted into a CSR (compressed sparse row) image with each neighbor
+/// range sorted ascending. The simulator's hot path then gets O(log deg)
+/// edge membership tests (binary search within one range) and contiguous,
+/// cache-friendly neighbor scans instead of pointer-chasing a
+/// vector-of-vectors.
+///
+/// Thread-safety contract: every topology builder calls compact() before
+/// returning, after which all const accessors are pure reads — safe to share
+/// one Graph across concurrently running trials. Querying a graph whose CSR
+/// is stale (edges added since the last compact()) asserts in debug builds;
+/// release builds fall back to rebuilding in place, which is only safe
+/// single-threaded. Call compact() after any add_edge burst before handing
+/// the graph to readers.
 class Graph {
  public:
   explicit Graph(std::size_t node_count);
 
   /// Adds the undirected edge {u, v}. Throws on self-loop, out-of-range ids,
-  /// or duplicate edge.
+  /// or duplicate edge. Marks the CSR image stale.
   void add_edge(NodeId u, NodeId v);
+
+  /// Compacts the staged adjacency lists into the sorted CSR image. Cheap
+  /// when already compacted. Returns *this so builders can `return
+  /// g.compact()`. This is the ONLY mutation concurrent readers may not
+  /// race with — do it once, before sharing.
+  Graph& compact();
+
+  /// True once the CSR image reflects every staged edge, i.e. const
+  /// accessors are data-race-free.
+  bool compacted() const { return !csr_stale_; }
 
   /// True if {u, v} is an edge. O(log deg) over the sorted CSR range of the
   /// lower-degree endpoint.
@@ -39,8 +56,8 @@ class Graph {
   std::size_t max_degree() const;
 
   /// Neighbors of u, sorted ascending, as one contiguous CSR slice. The
-  /// span is invalidated by any later add_edge (the next query rebuilds
-  /// the CSR image it points into) — don't hold it across mutations.
+  /// span is invalidated by add_edge + compact() (the rebuild moves the
+  /// image it points into) — don't hold it across mutations.
   std::span<const NodeId> neighbors(NodeId u) const;
 
   /// True if every node is reachable from node 0 (or graph is empty).
@@ -48,13 +65,21 @@ class Graph {
 
  private:
   void check_node(NodeId u) const;
-  /// Compacts the staged adjacency lists into the sorted CSR image.
+  /// Rebuilds the CSR image from the staged lists.
   void finalize() const;
+  /// Debug builds fail loudly on a stale read (a concurrent caller would be
+  /// racing the rebuild); release builds keep the single-threaded lazy
+  /// fallback so legacy call sites stay correct.
+  void require_compacted() const {
+    assert(!csr_stale_ &&
+           "Graph: compact() must be called before concurrent const reads");
+    if (csr_stale_) finalize();
+  }
 
   std::vector<std::vector<NodeId>> staging_;  // insertion-order build lists
   std::size_t edge_count_ = 0;
 
-  // Lazily derived CSR image: neighbors of u live in
+  // CSR image derived by compact(): neighbors of u live in
   // csr_[offsets_[u] .. offsets_[u + 1]), sorted ascending.
   mutable std::vector<std::uint32_t> offsets_;
   mutable std::vector<NodeId> csr_;

@@ -12,7 +12,7 @@ Graph make_line(std::size_t n) {
   SENSORNET_EXPECTS(n >= 1);
   Graph g(n);
   for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
-  return g;
+  return g.compact();
 }
 
 Graph make_ring(std::size_t n) {
@@ -20,7 +20,7 @@ Graph make_ring(std::size_t n) {
   Graph g(n);
   for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
   g.add_edge(static_cast<NodeId>(n - 1), 0);
-  return g;
+  return g.compact();
 }
 
 Graph make_grid(std::size_t rows, std::size_t cols) {
@@ -35,7 +35,7 @@ Graph make_grid(std::size_t rows, std::size_t cols) {
       if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
     }
   }
-  return g;
+  return g.compact();
 }
 
 Graph make_complete(std::size_t n) {
@@ -44,7 +44,7 @@ Graph make_complete(std::size_t n) {
   for (NodeId i = 0; i < n; ++i) {
     for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j);
   }
-  return g;
+  return g.compact();
 }
 
 Graph make_balanced_tree(std::size_t n, unsigned arity) {
@@ -54,8 +54,77 @@ Graph make_balanced_tree(std::size_t n, unsigned arity) {
     const NodeId parent = (child - 1) / arity;
     g.add_edge(parent, child);
   }
-  return g;
+  return g.compact();
 }
+
+namespace {
+
+/// Spatial hash over the unit square with cells of side >= radius, so every
+/// pair within `radius` lives in the same or an adjacent cell. Million-node
+/// geometric deployments need this: the all-pairs scan is O(n^2) (10^12
+/// probes at 2^20 nodes), the bucket walk is O(n * expected cell load).
+class BucketGrid {
+ public:
+  BucketGrid(const std::vector<double>& x, const std::vector<double>& y,
+             double radius)
+      : x_(x), y_(y) {
+    const std::size_t n = x.size();
+    // Cell side = radius, but never more than ~n cells total: a sub-
+    // threshold radius must not allocate a quadratic grid just to hold a
+    // handful of nodes per row.
+    const auto sqrt_n = static_cast<std::size_t>(
+        std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1))));
+    dims_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(1.0 / radius)));
+    dims_ = std::min(dims_, std::max<std::size_t>(1, sqrt_n));
+    cells_.resize(dims_ * dims_);
+    for (NodeId i = 0; i < n; ++i) {
+      cells_[cell_of(i)].push_back(i);  // ids ascend within each cell
+    }
+  }
+
+  std::size_t dims() const { return dims_; }
+
+  std::size_t axis_cell(double v) const {
+    auto c = static_cast<std::size_t>(v * static_cast<double>(dims_));
+    return std::min(c, dims_ - 1);
+  }
+
+  std::size_t cell_of(NodeId i) const {
+    return axis_cell(y_[i]) * dims_ + axis_cell(x_[i]);
+  }
+
+  /// Nodes in the cell at (cx, cy); empty span when out of range.
+  const std::vector<NodeId>& cell(std::size_t cx, std::size_t cy) const {
+    return cells_[cy * dims_ + cx];
+  }
+
+ private:
+  const std::vector<double>& x_;
+  const std::vector<double>& y_;
+  std::size_t dims_ = 1;
+  std::vector<std::vector<NodeId>> cells_;
+};
+
+/// Union-find with path halving; components are tracked during edge
+/// insertion so repair never has to re-scan the graph.
+struct UnionFind {
+  std::vector<NodeId> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (NodeId i = 0; i < n; ++i) parent[i] = i;
+  }
+  NodeId find(NodeId u) {
+    while (parent[u] != u) {
+      parent[u] = parent[parent[u]];
+      u = parent[u];
+    }
+    return u;
+  }
+  void unite(NodeId a, NodeId b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
 
 GeometricLayout make_random_geometric(std::size_t n, double radius,
                                       Xoshiro256& rng) {
@@ -68,55 +137,111 @@ GeometricLayout make_random_geometric(std::size_t n, double radius,
     layout.y[i] = rng.next_double();
   }
   const double r2 = radius * radius;
-  const auto dist2 = [&](std::size_t a, std::size_t b) {
+  const auto dist2 = [&](NodeId a, NodeId b) {
     const double dx = layout.x[a] - layout.x[b];
     const double dy = layout.y[a] - layout.y[b];
     return dx * dx + dy * dy;
   };
-  for (NodeId i = 0; i < n; ++i) {
-    for (NodeId j = i + 1; j < n; ++j) {
-      if (dist2(i, j) <= r2) layout.graph.add_edge(i, j);
-    }
-  }
 
-  // Connectivity repair: union-find over current edges, then bridge the
-  // geometrically closest inter-component pair until one component remains.
-  std::vector<NodeId> parent(n);
-  for (NodeId i = 0; i < n; ++i) parent[i] = i;
-  const auto find = [&](NodeId u) {
-    while (parent[u] != u) {
-      parent[u] = parent[parent[u]];
-      u = parent[u];
-    }
-    return u;
-  };
+  const BucketGrid grid(layout.x, layout.y, radius);
+  UnionFind uf(n);
+
+  // Edge enumeration: each node scans its 3x3 cell neighborhood for HIGHER
+  // ids in range, sorts them, and inserts ascending — byte-identical edge
+  // order to the classic lexicographic (i, j) double loop, at O(n * load)
+  // instead of O(n^2).
+  std::vector<NodeId> candidates;
   for (NodeId i = 0; i < n; ++i) {
-    for (const NodeId j : layout.graph.neighbors(i)) {
-      parent[find(i)] = find(j);
-    }
-  }
-  for (;;) {
-    // Find any two components' closest pair.
-    NodeId best_a = kNoNode;
-    NodeId best_b = kNoNode;
-    double best_d = std::numeric_limits<double>::infinity();
-    bool multiple_components = false;
-    for (NodeId i = 0; i < n; ++i) {
-      for (NodeId j = i + 1; j < n; ++j) {
-        if (find(i) == find(j)) continue;
-        multiple_components = true;
-        const double d = dist2(i, j);
-        if (d < best_d) {
-          best_d = d;
-          best_a = i;
-          best_b = j;
+    candidates.clear();
+    const std::size_t cx = grid.axis_cell(layout.x[i]);
+    const std::size_t cy = grid.axis_cell(layout.y[i]);
+    const std::size_t x_lo = cx == 0 ? 0 : cx - 1;
+    const std::size_t x_hi = std::min(cx + 1, grid.dims() - 1);
+    const std::size_t y_lo = cy == 0 ? 0 : cy - 1;
+    const std::size_t y_hi = std::min(cy + 1, grid.dims() - 1);
+    for (std::size_t gy = y_lo; gy <= y_hi; ++gy) {
+      for (std::size_t gx = x_lo; gx <= x_hi; ++gx) {
+        for (const NodeId j : grid.cell(gx, gy)) {
+          if (j > i && dist2(i, j) <= r2) candidates.push_back(j);
         }
       }
     }
-    if (!multiple_components) break;
-    layout.graph.add_edge(best_a, best_b);
-    parent[find(best_a)] = find(best_b);
+    std::sort(candidates.begin(), candidates.end());
+    for (const NodeId j : candidates) {
+      layout.graph.add_edge(i, j);
+      uf.unite(i, j);
+    }
   }
+
+  // Connectivity repair: bridge the geometrically closest inter-component
+  // pair until one component remains — a stand-in for a deployer adding
+  // relay motes. The closest pair is found by expanding-ring searches from
+  // every node of the smallest component (smallest first keeps the total
+  // repair cost near-linear even when the radius strands many singletons);
+  // ties break lexicographically on (a, b), so repair is deterministic.
+  for (;;) {
+    std::vector<std::uint32_t> comp_size(n, 0);
+    for (NodeId i = 0; i < n; ++i) ++comp_size[uf.find(i)];
+    NodeId small_root = kNoNode;
+    std::size_t components = 0;
+    for (NodeId r = 0; r < n; ++r) {
+      if (comp_size[r] == 0) continue;
+      ++components;
+      if (small_root == kNoNode || comp_size[r] < comp_size[small_root]) {
+        small_root = r;
+      }
+    }
+    if (components <= 1) break;
+
+    NodeId best_a = kNoNode;
+    NodeId best_b = kNoNode;
+    double best_d = std::numeric_limits<double>::infinity();
+    const double cell_side = 1.0 / static_cast<double>(grid.dims());
+    for (NodeId a = 0; a < n; ++a) {
+      if (uf.find(a) != small_root) continue;
+      const std::size_t cx = grid.axis_cell(layout.x[a]);
+      const std::size_t cy = grid.axis_cell(layout.y[a]);
+      for (std::size_t ring = 0; ring < grid.dims(); ++ring) {
+        // Once the nearest candidate so far is provably closer than
+        // anything a wider ring could hold, stop expanding.
+        if (best_a != kNoNode && ring >= 2) {
+          const double reach = static_cast<double>(ring - 1) * cell_side;
+          if (reach * reach > best_d) break;
+        }
+        const std::size_t x_lo = cx >= ring ? cx - ring : 0;
+        const std::size_t x_hi = std::min(cx + ring, grid.dims() - 1);
+        const std::size_t y_lo = cy >= ring ? cy - ring : 0;
+        const std::size_t y_hi = std::min(cy + ring, grid.dims() - 1);
+        for (std::size_t gy = y_lo; gy <= y_hi; ++gy) {
+          for (std::size_t gx = x_lo; gx <= x_hi; ++gx) {
+            // Perimeter cells only: interior rings were already scanned.
+            if (ring > 0 && gy != y_lo && gy != y_hi && gx != x_lo &&
+                gx != x_hi) {
+              continue;
+            }
+            for (const NodeId b : grid.cell(gx, gy)) {
+              if (uf.find(b) == small_root) continue;
+              const double d = dist2(a, b);
+              const NodeId lo = std::min(a, b);
+              const NodeId hi = std::max(a, b);
+              const NodeId blo = std::min(best_a, best_b);
+              const NodeId bhi = std::max(best_a, best_b);
+              if (d < best_d || (d == best_d && (best_a == kNoNode ||
+                                                 lo < blo ||
+                                                 (lo == blo && hi < bhi)))) {
+                best_d = d;
+                best_a = a;
+                best_b = b;
+              }
+            }
+          }
+        }
+      }
+    }
+    layout.graph.add_edge(best_a, best_b);
+    uf.unite(best_a, best_b);
+  }
+  layout.graph.compact();
   return layout;
 }
 

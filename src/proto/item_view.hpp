@@ -19,7 +19,8 @@ class LocalItemView {
 
   /// The items protocol waves should aggregate at `node`.
   virtual ValueSet items(sim::Network& net, NodeId node) const {
-    return net.items(node);
+    const auto view = net.items(node);  // span into the shared item slab
+    return ValueSet(view.begin(), view.end());
   }
 };
 

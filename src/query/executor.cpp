@@ -37,9 +37,10 @@ class Executor::FilterView final : public proto::LocalItemView {
 
   ValueSet items(sim::Network& net, NodeId node) const override {
     const auto& filter = filters_[node];
-    if (!filter) return net.items(node);
+    const auto view = net.items(node);
+    if (!filter) return ValueSet(view.begin(), view.end());
     ValueSet out;
-    for (const Value x : net.items(node)) {
+    for (const Value x : view) {
       if (condition_matches(*filter, x)) out.push_back(x);
     }
     return out;

@@ -8,47 +8,71 @@ namespace sensornet::sim {
 
 Network::Network(net::Graph graph, std::uint64_t master_seed)
     : graph_(std::move(graph)),
-      items_(graph_.node_count()),
-      stats_(graph_.node_count()) {
-  rngs_.reserve(graph_.node_count());
-  for (NodeId u = 0; u < graph_.node_count(); ++u) {
-    rngs_.push_back(node_rng(master_seed, u));
-  }
+      master_seed_(master_seed),
+      sent_(graph_.node_count()),
+      received_(graph_.node_count()),
+      item_refs_(graph_.node_count()) {
+  // Deployment builders compact eagerly; this covers hand-built graphs so
+  // the simulator never reads a stale CSR (and trials can share graph_
+  // safely through the const accessor).
+  graph_.compact();
 }
 
 void Network::set_items(NodeId node, ValueSet items) {
-  SENSORNET_EXPECTS(node < items_.size());
+  SENSORNET_EXPECTS(node < item_refs_.size());
   for (const Value v : items) SENSORNET_EXPECTS(v >= 0);
-  items_[node] = std::move(items);
+  // Append-only slab: the node's record points at the new run. Replaced
+  // runs are not reclaimed until the next set_one_item_per_node — per-node
+  // re-installs are a test-setup pattern, not a hot path.
+  SENSORNET_EXPECTS(item_slab_.size() + items.size() <=
+                    std::numeric_limits<std::uint32_t>::max());
+  ItemRef& ref = item_refs_[node];
+  ref.offset = static_cast<std::uint32_t>(item_slab_.size());
+  ref.len = static_cast<std::uint32_t>(items.size());
+  item_slab_.insert(item_slab_.end(), items.begin(), items.end());
 }
 
 void Network::set_one_item_per_node(const ValueSet& flat) {
-  SENSORNET_EXPECTS(flat.size() == items_.size());
-  for (NodeId u = 0; u < flat.size(); ++u) set_items(u, {flat[u]});
+  SENSORNET_EXPECTS(flat.size() == item_refs_.size());
+  for (const Value v : flat) SENSORNET_EXPECTS(v >= 0);
+  item_slab_ = flat;
+  for (NodeId u = 0; u < item_refs_.size(); ++u) {
+    item_refs_[u] = ItemRef{u, 1};
+  }
 }
 
-const ValueSet& Network::items(NodeId node) const {
-  SENSORNET_EXPECTS(node < items_.size());
-  return items_[node];
+std::span<const Value> Network::items(NodeId node) const {
+  SENSORNET_EXPECTS(node < item_refs_.size());
+  const ItemRef ref = item_refs_[node];
+  return {item_slab_.data() + ref.offset, ref.len};
+}
+
+void Network::ensure_rngs() {
+  if (!rngs_.empty() || node_count() == 0) return;
+  rngs_.reserve(node_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    rngs_.push_back(node_rng(master_seed_, u));
+  }
 }
 
 Xoshiro256& Network::rng(NodeId node) {
-  SENSORNET_EXPECTS(node < rngs_.size());
+  SENSORNET_EXPECTS(node < node_count());
+  ensure_rngs();
   return rngs_[node];
 }
 
 void Network::charge_send(NodeId node, const Message& msg) {
-  auto& st = stats_[node];
-  st.payload_bits_sent += msg.payload_bits;
-  st.header_bits_sent += kHeaderBits;
-  st.messages_sent += 1;
+  DirStats& st = sent_[node];
+  st.payload_bits += msg.payload_bits;
+  st.header_bits += kHeaderBits;
+  st.messages += 1;
 }
 
 void Network::charge_receive(NodeId node, const Message& msg) {
-  auto& st = stats_[node];
-  st.payload_bits_received += msg.payload_bits;
-  st.header_bits_received += kHeaderBits;
-  st.messages_received += 1;
+  DirStats& st = received_[node];
+  st.payload_bits += msg.payload_bits;
+  st.header_bits += kHeaderBits;
+  st.messages += 1;
 }
 
 void Network::note_in_flight_high_water() {
@@ -173,9 +197,44 @@ void Network::run(ProtocolHandler& handler, std::uint64_t max_deliveries) {
   cursor_ = 0;
 }
 
-const NodeCommStats& Network::stats(NodeId node) const {
-  SENSORNET_EXPECTS(node < stats_.size());
-  return stats_[node];
+NodeCommStats Network::stats(NodeId node) const {
+  SENSORNET_EXPECTS(node < node_count());
+  const DirStats& tx = sent_[node];
+  const DirStats& rx = received_[node];
+  return NodeCommStats{
+      .payload_bits_sent = tx.payload_bits,
+      .payload_bits_received = rx.payload_bits,
+      .header_bits_sent = tx.header_bits,
+      .header_bits_received = rx.header_bits,
+      .messages_sent = tx.messages,
+      .messages_received = rx.messages,
+  };
+}
+
+std::vector<NodeCommStats> Network::all_stats() const {
+  std::vector<NodeCommStats> out;
+  out.reserve(node_count());
+  for (NodeId u = 0; u < node_count(); ++u) out.push_back(stats(u));
+  return out;
+}
+
+CommSummary Network::summary(bool include_headers) const {
+  CommSummary s;
+  s.rounds = now_;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    const DirStats& tx = sent_[u];
+    const DirStats& rx = received_[u];
+    std::uint64_t bits = tx.payload_bits + rx.payload_bits;
+    if (include_headers) bits += tx.header_bits + rx.header_bits;
+    if (bits > s.max_node_bits) {
+      s.max_node_bits = bits;
+      s.max_node = u;
+    }
+    s.total_bits += tx.payload_bits;
+    if (include_headers) s.total_bits += tx.header_bits;
+    s.total_messages += tx.messages;
+  }
+  return s;
 }
 
 void Network::watch_edge(NodeId u, NodeId v) {
@@ -186,10 +245,33 @@ void Network::watch_edge(NodeId u, NodeId v) {
 }
 
 void Network::reset_accounting() {
-  for (auto& st : stats_) st = NodeCommStats{};
+  for (DirStats& st : sent_) st = DirStats{};
+  for (DirStats& st : received_) st = DirStats{};
   now_ = 0;
   watched_bits_ = 0;
   peak_in_flight_bytes_ = 0;
+}
+
+void Network::reset(std::uint64_t master_seed) {
+  reset_accounting();
+  master_seed_ = master_seed;
+  rngs_.clear();  // next rng() call re-derives from the new master seed
+  loss_rng_ = Xoshiro256(kLossSeed);
+  loss_probability_ = 0.0;
+  watch_u_ = kNoNode;
+  watch_v_ = kNoNode;
+  // Release the queue slabs rather than keeping their capacity: a reset
+  // network must be byte-identical to a freshly built one — including the
+  // peak_in_flight_bytes() meter, which counts slot-store capacity.
+  slots_ = std::vector<Message>{};
+  free_slots_ = std::vector<std::uint32_t>{};
+  round_now_ = std::vector<std::uint32_t>{};
+  round_next_ = std::vector<std::uint32_t>{};
+  round_time_ = 0;
+  cursor_ = 0;
+  pending_ = 0;
+  in_flight_payload_bytes_ = 0;
+  slot_store_bytes_ = 0;
 }
 
 }  // namespace sensornet::sim

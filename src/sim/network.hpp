@@ -11,9 +11,19 @@
 // message slots recycled through a free list. Delivery order is (time, send
 // order), identical to a (time, seq) priority queue but with O(1) push/pop
 // and no per-run storage growth.
+//
+// Node state is struct-of-arrays so a single trial scales to 10^6+ nodes:
+// the deliver loop's accounting lives in two flat arrays of 24-byte
+// direction records (send-side charged at the sender's slot, receive-side at
+// the receiver's), node readings live in one shared value slab addressed by
+// (offset, len) records instead of a vector-of-vectors, and the per-node RNG
+// streams materialize lazily on first use. Nothing per-node is individually
+// heap-allocated, so building a 2^20-node network costs a handful of slab
+// allocations rather than a million.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/rng.hpp"
@@ -36,11 +46,12 @@ class ProtocolHandler {
 
 class Network {
  public:
-  /// Takes ownership of the deployment graph. `master_seed` derives every
-  /// node's private random stream, making runs reproducible.
+  /// Takes ownership of the deployment graph (compacting it if the builder
+  /// has not already). `master_seed` derives every node's private random
+  /// stream, making runs reproducible.
   Network(net::Graph graph, std::uint64_t master_seed);
 
-  std::size_t node_count() const { return items_.size(); }
+  std::size_t node_count() const { return sent_.size(); }
   const net::Graph& graph() const { return graph_; }
 
   // ---- node-local state -------------------------------------------------
@@ -52,7 +63,9 @@ class Network {
   /// Distributes one item per node; `flat.size()` must equal node_count().
   void set_one_item_per_node(const ValueSet& flat);
 
-  const ValueSet& items(NodeId node) const;
+  /// The node's items, as a view into the shared value slab. Invalidated by
+  /// the next set_items / set_one_item_per_node call.
+  std::span<const Value> items(NodeId node) const;
 
   /// The node's private random stream ("infinite tape of random bits").
   Xoshiro256& rng(NodeId node);
@@ -86,8 +99,12 @@ class Network {
 
   // ---- accounting -----------------------------------------------------
 
-  const NodeCommStats& stats(NodeId node) const;
-  const std::vector<NodeCommStats>& all_stats() const { return stats_; }
+  /// One node's accounting, assembled from the direction arrays.
+  NodeCommStats stats(NodeId node) const;
+
+  /// Whole-network accounting snapshot (materialized; use it for windowed
+  /// before/after diffs and determinism comparisons).
+  std::vector<NodeCommStats> all_stats() const;
 
   /// Starts metering payload bits that cross the undirected edge {u, v}
   /// (either direction). Used by the Theorem 5.1 reduction to measure the
@@ -107,23 +124,52 @@ class Network {
   /// Clears stats and the clock (keeps items and RNG streams).
   void reset_accounting();
 
-  /// Summary over the current accounting window.
-  CommSummary summary(bool include_headers = false) const {
-    return summarize(stats_, now_, include_headers);
-  }
+  /// Full trial reset: accounting, clock, queue, loss model, and RNG
+  /// streams return to the state of a freshly built Network(graph,
+  /// master_seed); the graph and installed items are kept. A reset network
+  /// is byte-identical to a fresh one for the same seed, so experiment
+  /// arenas can reuse one deployment across trials without re-paying
+  /// topology construction.
+  void reset(std::uint64_t master_seed);
+
+  /// Summary over the current accounting window (single pass over the
+  /// direction arrays; no per-node materialization).
+  CommSummary summary(bool include_headers = false) const;
 
  private:
+  /// One direction of a node's meter — the unit the deliver loop touches.
+  /// 24 bytes, so charging a node dirties one cache line, not two.
+  struct DirStats {
+    std::uint64_t payload_bits = 0;
+    std::uint64_t header_bits = 0;
+    std::uint64_t messages = 0;
+  };
+
+  /// Where a node's items live in the shared slab.
+  struct ItemRef {
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+  };
+
   void charge_send(NodeId node, const Message& msg);
   void charge_receive(NodeId node, const Message& msg);
   void schedule(Message msg, NodeId to);
   void note_in_flight_high_water();
+  void ensure_rngs();
 
   net::Graph graph_;
-  std::vector<ValueSet> items_;
-  std::vector<Xoshiro256> rngs_;
-  Xoshiro256 loss_rng_{0x10c5};
+  std::uint64_t master_seed_ = 0;
+
+  // ---- SoA node state (parallel arrays indexed by NodeId) ---------------
+  std::vector<DirStats> sent_;      // hot: charge_send
+  std::vector<DirStats> received_;  // hot: charge_receive
+  std::vector<ItemRef> item_refs_;
+  std::vector<Value> item_slab_;
+  std::vector<Xoshiro256> rngs_;  // empty until the first rng() call
+
+  Xoshiro256 loss_rng_{kLossSeed};
   double loss_probability_ = 0.0;
-  std::vector<NodeCommStats> stats_;
+  static constexpr std::uint64_t kLossSeed = 0x10c5;
 
   // Calendar queue: slots_ stores queued messages; round_now_ / round_next_
   // hold slot indices due at round_time_ / round_time_ + 1, in send order.

@@ -1,0 +1,93 @@
+// Million-node scale: deployment construction must stay practical at
+// 2^20 nodes on both regular (grid) and irregular (random-geometric)
+// topologies — the latter exercising the spatial-hash bucket builder,
+// which replaced the quadratic all-pairs scan precisely so this test can
+// exist. Memory is checked through the simulator's own meter: a one-shot
+// all-nodes send must leave peak_in_flight_bytes() linear-ish in n.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/net/topology.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::net {
+namespace {
+
+constexpr std::size_t kMillion = std::size_t{1} << 20;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(MillionNodeScale, GridBuildsAndTreeSpans) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Graph g = make_grid(1024, 1024);
+  const SpanningTree tree = bfs_tree(g, 0);
+  const double elapsed = seconds_since(t0);
+
+  EXPECT_EQ(g.node_count(), kMillion);
+  EXPECT_TRUE(g.compacted());
+  EXPECT_EQ(g.edge_count(), 2u * 1024u * 1023u);
+  EXPECT_EQ(tree.parent.size(), kMillion);
+  EXPECT_EQ(tree.height(), 1023u + 1023u);  // BFS depth = Manhattan radius
+#ifdef NDEBUG
+  // Generous ceiling — the point is catching an accidental O(n^2) path,
+  // not benchmarking. (Only enforced in optimized builds.)
+  EXPECT_LT(elapsed, 120.0);
+#else
+  (void)elapsed;
+#endif
+}
+
+TEST(MillionNodeScale, GeometricBuildsConnectedViaBucketGrid) {
+  Xoshiro256 rng(20040725);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Graph g = make_topology(TopologyKind::kGeometric, kMillion, rng);
+  const double elapsed = seconds_since(t0);
+
+  EXPECT_EQ(g.node_count(), kMillion);
+  EXPECT_TRUE(g.compacted());
+  EXPECT_TRUE(g.connected());
+  // The connectivity radius keeps expected degree ~ 4 ln n; a collapsed
+  // radius (or a bucket-grid bug dropping candidate pairs) shows up here.
+  const double avg_degree =
+      2.0 * static_cast<double>(g.edge_count()) /
+      static_cast<double>(g.node_count());
+  EXPECT_GT(avg_degree, 8.0);
+  EXPECT_LT(avg_degree, 200.0);
+#ifdef NDEBUG
+  EXPECT_LT(elapsed, 240.0);
+#else
+  (void)elapsed;
+#endif
+}
+
+TEST(MillionNodeScale, PeakInFlightBytesStaysLinearish) {
+  // Every node enqueues one small unicast at t=0: the queue must meter
+  // O(bytes-in-flight), i.e. a constant per message — not O(n^2) fan-out
+  // structures or per-node heap slabs.
+  sim::Network net(make_grid(1024, 1024), 1);
+  class Sink final : public sim::ProtocolHandler {
+   public:
+    void on_message(sim::Network&, NodeId, const sim::Message&) override {}
+  } sink;
+  const auto n = static_cast<NodeId>(net.node_count());
+  for (NodeId u = 0; u < n; ++u) {
+    BitWriter w;
+    w.write_bits(0xAB, 8);
+    net.send(sim::Message::make(u, net.graph().neighbors(u)[0], 0, 1,
+                                std::move(w)));
+  }
+  net.run(sink);
+  const std::size_t peak = net.peak_in_flight_bytes();
+  EXPECT_GE(peak, static_cast<std::size_t>(n) * 8);    // it counted something
+  EXPECT_LE(peak, static_cast<std::size_t>(n) * 512);  // ~constant/message
+}
+
+}  // namespace
+}  // namespace sensornet::net

@@ -16,6 +16,7 @@ TEST(Graph, AddAndQueryEdges) {
   Graph g(4);
   g.add_edge(0, 1);
   g.add_edge(1, 2);
+  g.compact();
   EXPECT_TRUE(g.has_edge(0, 1));
   EXPECT_TRUE(g.has_edge(1, 0));
   EXPECT_FALSE(g.has_edge(0, 2));
@@ -45,15 +46,16 @@ TEST(Graph, ConnectivityDetection) {
   Graph g(4);
   g.add_edge(0, 1);
   g.add_edge(2, 3);
-  EXPECT_FALSE(g.connected());
+  EXPECT_FALSE(g.compact().connected());
   g.add_edge(1, 2);
-  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.compact().connected());
 }
 
 TEST(Graph, NeighborsListed) {
   Graph g(4);
   g.add_edge(0, 2);
   g.add_edge(0, 3);
+  g.compact();
   const auto nb = g.neighbors(0);
   ASSERT_EQ(nb.size(), 2u);
   EXPECT_EQ(nb[0], 2u);
@@ -66,6 +68,7 @@ TEST(Graph, NeighborsSortedRegardlessOfInsertionOrder) {
   g.add_edge(3, 0);
   g.add_edge(3, 2);
   g.add_edge(3, 1);
+  g.compact();
   const auto nb = g.neighbors(3);
   const std::vector<NodeId> expected{0, 1, 2, 4};
   ASSERT_EQ(nb.size(), expected.size());
@@ -74,28 +77,47 @@ TEST(Graph, NeighborsSortedRegardlessOfInsertionOrder) {
   }
 }
 
-TEST(Graph, EdgeAddsInterleavedWithQueriesStayConsistent) {
-  // Queries compact the staged edges into the CSR image; later add_edge
-  // calls must invalidate and rebuild it.
+TEST(Graph, CompactAfterEachMutationKeepsQueriesConsistent) {
+  // The thread-safety contract: add_edge marks the CSR stale, compact()
+  // rebuilds it, and queries in between see the refreshed image.
   Graph g(4);
+  EXPECT_TRUE(g.compacted());  // edgeless graphs start compacted
   g.add_edge(0, 1);
+  EXPECT_FALSE(g.compacted());
+  g.compact();
+  EXPECT_TRUE(g.compacted());
   EXPECT_TRUE(g.has_edge(0, 1));
   EXPECT_FALSE(g.connected());
   g.add_edge(2, 1);
+  g.compact();
   EXPECT_TRUE(g.has_edge(1, 2));
   const auto nb = g.neighbors(1);
   ASSERT_EQ(nb.size(), 2u);
   EXPECT_EQ(nb[0], 0u);
   EXPECT_EQ(nb[1], 2u);
   g.add_edge(3, 2);
-  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.compact().connected());
   EXPECT_THROW(g.add_edge(1, 2), PreconditionError);  // still a duplicate
+}
+
+TEST(Graph, TopologyBuildersReturnCompactedGraphs) {
+  // Deployment builders must hand back query-ready (data-race-free) graphs;
+  // degree/edge_count read staging and stay valid either way.
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.compacted());
+  EXPECT_TRUE(g.compact().compacted());
+  g.compact();  // idempotent
+  EXPECT_TRUE(g.compacted());
 }
 
 TEST(Graph, HasEdgeOnHighDegreeNode) {
   // Degree above the linear-scan cutoff exercises the binary-search path.
   Graph g(64);
   for (NodeId v = 1; v < 64; v += 2) g.add_edge(0, v);
+  g.compact();
   for (NodeId v = 1; v < 64; ++v) {
     EXPECT_EQ(g.has_edge(0, v), v % 2 == 1);
     EXPECT_EQ(g.has_edge(v, 0), v % 2 == 1);

@@ -37,7 +37,7 @@ TEST(SpanningTree, DisconnectedThrows) {
   Graph g(4);
   g.add_edge(0, 1);
   g.add_edge(2, 3);
-  EXPECT_THROW(bfs_tree(g, 0), ProtocolError);
+  EXPECT_THROW(bfs_tree(g.compact(), 0), ProtocolError);
 }
 
 TEST(SpanningTree, CappedBfsBoundsDegree) {
@@ -53,7 +53,7 @@ TEST(SpanningTree, CappedBfsTooTightThrows) {
   // hub itself can only adopt 1 child, stranding the rest.
   Graph star(5);
   for (NodeId u = 1; u < 5; ++u) star.add_edge(0, u);
-  EXPECT_THROW(capped_bfs_tree(star, 1, 1), ProtocolError);
+  EXPECT_THROW(capped_bfs_tree(star.compact(), 1, 1), ProtocolError);
 }
 
 TEST(SpanningTree, CappedMatchesBfsWhenCapLoose) {

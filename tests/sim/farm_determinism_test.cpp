@@ -1,0 +1,144 @@
+// Farm determinism: an experiment matrix executed at --threads 1, 2 and 8
+// must produce byte-identical per-trial results — same protocol outputs,
+// same per-node accounting, same peak-queue meter — because every trial
+// seeds exclusively from trial_seed(master, cell). A 10%-loss lane rides
+// along so the loss stream is covered by the same guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/trial_farm.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/counting_service.hpp"
+#include "src/proto/multipath.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::sim {
+namespace {
+
+constexpr std::uint64_t kMaster = 0xFA121;
+
+ValueSet test_items(std::size_t n) {
+  ValueSet xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = static_cast<Value>((i * 104729 + 7) % 1000);
+  }
+  return xs;
+}
+
+struct Outcome {
+  std::vector<NodeCommStats> stats;
+  std::uint64_t result = 0;
+  std::size_t peak_in_flight = 0;
+  bool stalled = false;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+/// One matrix cell: a tree-wave counting query, even cells lossless and
+/// odd cells at 10% loss (where the wave may stall — the partial
+/// accounting must still be schedule-independent).
+Outcome wave_cell(const net::Graph& graph, const net::SpanningTree& tree,
+                  std::size_t cell) {
+  Network net(graph, trial_seed(kMaster, cell));
+  net.set_one_item_per_node(test_items(graph.node_count()));
+  net.set_message_loss(cell % 2 == 1 ? 0.1 : 0.0);
+  proto::TreeCountingService svc(net, tree);
+  Outcome o;
+  try {
+    o.result = svc.count(proto::Predicate::less_than(500));
+  } catch (const ProtocolError&) {
+    o.stalled = true;
+  }
+  o.stats = net.all_stats();
+  o.peak_in_flight = net.peak_in_flight_bytes();
+  return o;
+}
+
+/// One multipath cell in kRandom mode: exercises the per-node RNG streams,
+/// which must derive from the trial seed and nothing else.
+Outcome multipath_cell(const net::Graph& graph, std::size_t cell) {
+  Network net(graph, trial_seed(kMaster ^ 0xABCD, cell));
+  net.set_one_item_per_node(test_items(graph.node_count()));
+  net.set_message_loss(cell % 2 == 1 ? 0.1 : 0.0);
+  proto::LogLogAgg::Request req;
+  req.registers = 32;
+  req.width = 5;
+  req.mode = proto::LogLogAgg::Mode::kRandom;
+  Outcome o;
+  const auto res = proto::multipath_loglog_sweep(net, 0, req);
+  o.result = res.covered_nodes;
+  o.stats = net.all_stats();
+  o.peak_in_flight = net.peak_in_flight_bytes();
+  return o;
+}
+
+TEST(FarmDeterminism, TreeWaveMatrixIdenticalAcrossThreadCounts) {
+  const net::Graph grid = net::make_grid(8, 8);
+  const net::SpanningTree tree = net::bfs_tree(grid, 0);
+  constexpr std::size_t kCells = 12;
+
+  TrialFarm serial(1);
+  const auto expected = serial.map<Outcome>(
+      kCells, [&](std::size_t cell) { return wave_cell(grid, tree, cell); });
+
+  bool any_stalled = false;
+  for (const Outcome& o : expected) any_stalled = any_stalled || o.stalled;
+  EXPECT_TRUE(any_stalled) << "loss lane never stalled; matrix has no teeth";
+
+  for (const unsigned threads : {2u, 8u}) {
+    TrialFarm farm(threads);
+    const auto got = farm.map<Outcome>(kCells, [&](std::size_t cell) {
+      return wave_cell(grid, tree, cell);
+    });
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t cell = 0; cell < kCells; ++cell) {
+      EXPECT_TRUE(got[cell] == expected[cell])
+          << "cell " << cell << " diverged at " << threads << " workers";
+    }
+  }
+}
+
+TEST(FarmDeterminism, MultipathMatrixIdenticalAcrossThreadCounts) {
+  Xoshiro256 rng(4242);
+  const net::Graph geo =
+      net::make_topology(net::TopologyKind::kGeometric, 48, rng);
+  constexpr std::size_t kCells = 8;
+
+  TrialFarm serial(1);
+  const auto expected = serial.map<Outcome>(
+      kCells, [&](std::size_t cell) { return multipath_cell(geo, cell); });
+
+  for (const unsigned threads : {2u, 8u}) {
+    TrialFarm farm(threads);
+    const auto got = farm.map<Outcome>(
+        kCells, [&](std::size_t cell) { return multipath_cell(geo, cell); });
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t cell = 0; cell < kCells; ++cell) {
+      EXPECT_TRUE(got[cell] == expected[cell])
+          << "cell " << cell << " diverged at " << threads << " workers";
+    }
+  }
+}
+
+TEST(FarmDeterminism, DifferentCellsProduceDifferentResults) {
+  // Counter-check: cells really do get independent per-node streams —
+  // identical outcomes across all cells would mean the seed plumbing is
+  // dead. This must use a protocol that draws from the per-node RNGs
+  // (multipath kRandom): the loss stream deliberately does NOT vary with
+  // the trial seed — it is pinned to the same fixed generator the legacy
+  // replica uses, so perf_driver can cross-check delivery counts between
+  // simulator generations under loss.
+  Xoshiro256 rng(4242);
+  const net::Graph geo =
+      net::make_topology(net::TopologyKind::kGeometric, 48, rng);
+  const Outcome a = multipath_cell(geo, 0);
+  const Outcome b = multipath_cell(geo, 2);  // both lossless lanes
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace sensornet::sim
