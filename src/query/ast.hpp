@@ -1,10 +1,15 @@
 // Abstract syntax for the TAG/TinyDB-flavoured aggregate query language.
 //
 //   SELECT MEDIAN(temp) FROM sensors WHERE temp >= 10 ERROR 0.01 CONFIDENCE 0.9
+//   SELECT SUM(temp) FROM sensors WHERE temp BETWEEN 10 AND 50
+//       EVERY 4 EPOCHS ERROR 0.05
 //
 // One aggregate per query over the single reading attribute; an optional
-// WHERE compare-with-literal; ERROR opts into the paper's approximate
-// protocols (its meaning per aggregate is documented on the planner).
+// WHERE compare-with-literal or BETWEEN range; an optional EVERY clause
+// turning the query continuous (re-evaluated by the query service each n
+// epochs); ERROR opts into the paper's approximate protocols for one-shot
+// execution (its meaning per aggregate is documented on the planner) and
+// doubles as the result-cache staleness tolerance under the service.
 #pragma once
 
 #include <optional>
@@ -28,9 +33,13 @@ enum class AggKind {
 const char* agg_name(AggKind k);
 
 struct Condition {
-  enum class Cmp { kLt, kLe, kGt, kGe };
+  enum class Cmp { kLt, kLe, kGt, kGe, kBetween };
   Cmp cmp = Cmp::kLt;
   Value literal = 0;
+  /// Upper bound of a BETWEEN range (inclusive); unused otherwise. The
+  /// parser accepts inverted ranges — the planner rejects them with a
+  /// pinned diagnostic so service admission can surface it.
+  Value literal2 = 0;
 };
 
 struct Query {
@@ -38,6 +47,9 @@ struct Query {
   std::string attribute;          // e.g. "temp" (one attribute per node)
   double quantile_phi = 0.5;      // only for kQuantile
   std::optional<Condition> where;
+  /// EVERY n EPOCHS: re-evaluation period of a continuous query. Absent for
+  /// classic one-shot queries.
+  std::optional<std::uint32_t> every_epochs;
   std::optional<double> error;    // requested approximation knob
   double confidence = 0.95;       // 1 - epsilon for randomized protocols
   std::string text;               // original query text (diagnostics)

@@ -15,7 +15,7 @@
 #include "src/proto/tree_broadcast.hpp"
 #include "src/proto/tree_wave.hpp"
 #include "src/query/parser.hpp"
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 
 namespace sensornet::query {
 
@@ -25,6 +25,8 @@ bool condition_matches(const Condition& cond, Value x) {
     case Condition::Cmp::kLe: return x <= cond.literal;
     case Condition::Cmp::kGt: return x > cond.literal;
     case Condition::Cmp::kGe: return x >= cond.literal;
+    case Condition::Cmp::kBetween:
+      return x >= cond.literal && x <= cond.literal2;
   }
   return false;
 }
@@ -58,7 +60,7 @@ Executor::Executor(Deployment deployment)
 Executor::~Executor() = default;
 
 void Executor::install_filter(const std::optional<Condition>& cond) {
-  // Query dissemination: 1 bit for "filtered?", then cmp + literal. Even
+  // Query dissemination: 1 bit for "filtered?", then cmp + literal(s). Even
   // clearing a filter costs a broadcast — epochs don't share state for free.
   proto::TreeBroadcast bc(
       deployment_.tree, next_broadcast_session_++,
@@ -68,15 +70,21 @@ void Executor::install_filter(const std::optional<Condition>& cond) {
           return;
         }
         Condition c;
-        c.cmp = static_cast<Condition::Cmp>(r.read_bits(2));
+        c.cmp = static_cast<Condition::Cmp>(r.read_bits(3));
         c.literal = static_cast<Value>(decode_uint(r));
+        if (c.cmp == Condition::Cmp::kBetween) {
+          c.literal2 = static_cast<Value>(decode_uint(r));
+        }
         node_filters_[node] = c;
       });
   BitWriter w;
   w.write_bit(cond.has_value());
   if (cond) {
-    w.write_bits(static_cast<std::uint64_t>(cond->cmp), 2);
+    w.write_bits(static_cast<std::uint64_t>(cond->cmp), 3);
     encode_uint(w, static_cast<std::uint64_t>(cond->literal));
+    if (cond->cmp == Condition::Cmp::kBetween) {
+      encode_uint(w, static_cast<std::uint64_t>(cond->literal2));
+    }
   }
   bc.execute(deployment_.net, std::move(w));
 }

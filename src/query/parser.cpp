@@ -48,6 +48,21 @@ class Parser {
       advance();
       q.where = parse_condition();
     }
+    if (at_keyword("EVERY")) {
+      advance();
+      const double n = expect_number("epoch interval");
+      if (n < 1.0 || std::floor(n) != n || n > 1e6) {
+        throw QueryError("EVERY interval must be a positive whole number "
+                         "of epochs",
+                         previous_position_);
+      }
+      if (!at_keyword("EPOCHS") && !at_keyword("EPOCH")) {
+        throw QueryError("expected 'EPOCHS' after the EVERY interval",
+                         current().position);
+      }
+      advance();
+      q.every_epochs = static_cast<std::uint32_t>(n);
+    }
     if (at_keyword("ERROR")) {
       advance();
       const double e = expect_number("error bound");
@@ -148,6 +163,21 @@ class Parser {
     expect(TokenKind::kIdent, "attribute in WHERE");
     advance();
     Condition cond;
+    if (at_keyword("BETWEEN")) {
+      // WHERE attr BETWEEN lo AND hi (inclusive). Inverted bounds are a
+      // *planning* error (region_signature pins the diagnostic), not a
+      // syntax error.
+      advance();
+      cond.cmp = Condition::Cmp::kBetween;
+      cond.literal = parse_range_literal("BETWEEN lower bound");
+      if (!at_keyword("AND")) {
+        throw QueryError("expected 'AND' between BETWEEN bounds",
+                         current().position);
+      }
+      advance();
+      cond.literal2 = parse_range_literal("BETWEEN upper bound");
+      return cond;
+    }
     switch (current().kind) {
       case TokenKind::kLt: cond.cmp = Condition::Cmp::kLt; break;
       case TokenKind::kLe: cond.cmp = Condition::Cmp::kLe; break;
@@ -157,13 +187,18 @@ class Parser {
         throw QueryError("expected comparison operator", current().position);
     }
     advance();
-    const double lit = expect_number("comparison literal");
+    cond.literal = parse_range_literal("comparison literal");
+    return cond;
+  }
+
+  Value parse_range_literal(const char* what) {
+    const double lit = expect_number(what);
     if (lit < 0.0 || std::floor(lit) != lit) {
-      throw QueryError("comparison literal must be a non-negative integer",
+      throw QueryError(std::string(what) +
+                           " must be a non-negative integer",
                        previous_position_);
     }
-    cond.literal = static_cast<Value>(lit);
-    return cond;
+    return static_cast<Value>(lit);
   }
 
   std::vector<Token> tokens_;

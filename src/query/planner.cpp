@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/error.hpp"
+#include "src/query/lexer.hpp"
+
 namespace sensornet::query {
 
 const char* strategy_name(Strategy s) {
@@ -78,6 +81,35 @@ Plan plan_query(const Query& q) {
   plan.description = std::string(agg_name(q.agg)) + " via " +
                      strategy_name(plan.strategy);
   return plan;
+}
+
+RegionSignature region_signature(const Query& q, Value max_value_bound) {
+  SENSORNET_EXPECTS(max_value_bound >= 0);
+  RegionSignature sig;
+  sig.lo = 0;
+  sig.hi = max_value_bound;
+  if (q.where) {
+    switch (q.where->cmp) {
+      case Condition::Cmp::kLt: sig.hi = q.where->literal - 1; break;
+      case Condition::Cmp::kLe: sig.hi = q.where->literal; break;
+      case Condition::Cmp::kGt: sig.lo = q.where->literal + 1; break;
+      case Condition::Cmp::kGe: sig.lo = q.where->literal; break;
+      case Condition::Cmp::kBetween:
+        sig.lo = q.where->literal;
+        sig.hi = q.where->literal2;
+        if (sig.lo > sig.hi) {
+          throw QueryError(
+              "WHERE range is empty (lower bound exceeds upper bound)", 0);
+        }
+        break;
+    }
+  }
+  if (sig.hi < 0 || sig.lo > max_value_bound || sig.lo > sig.hi) {
+    throw QueryError("WHERE range selects no representable value", 0);
+  }
+  sig.hi = std::min(sig.hi, max_value_bound);
+  sig.whole_domain = sig.lo == 0 && sig.hi == max_value_bound;
+  return sig;
 }
 
 }  // namespace sensornet::query

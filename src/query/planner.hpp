@@ -46,4 +46,27 @@ struct Plan {
 /// Chooses the physical plan; pure function of the query.
 Plan plan_query(const Query& q);
 
+/// Canonical value-region a query aggregates over — the grouping key of the
+/// query service's shared-aggregation scheduler and the lookup key of its
+/// result cache. Every WHERE form canonicalizes to one inclusive interval
+/// [lo, hi] of the value domain [0, max_value_bound].
+struct RegionSignature {
+  Value lo = 0;
+  Value hi = 0;
+  /// True when the region covers the whole value domain (no WHERE, or a
+  /// WHERE that excludes nothing) — population membership is then static,
+  /// which tightens the cache's error bounds.
+  bool whole_domain = true;
+
+  bool operator==(const RegionSignature&) const = default;
+  auto operator<=>(const RegionSignature&) const = default;
+};
+
+/// Canonicalizes the query's WHERE clause against the model's known value
+/// bound. Throws QueryError with pinned diagnostics on degenerate regions:
+///   "WHERE range is empty (lower bound exceeds upper bound)"  — inverted
+///   "WHERE range selects no representable value"              — empty
+/// The service surfaces these as admission errors.
+RegionSignature region_signature(const Query& q, Value max_value_bound);
+
 }  // namespace sensornet::query

@@ -1,0 +1,289 @@
+#include "src/service/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/query/lexer.hpp"
+#include "src/query/parser.hpp"
+
+namespace sensornet::service {
+
+namespace {
+
+bool is_stats_agg(query::AggKind k) {
+  switch (k) {
+    case query::AggKind::kCount:
+    case query::AggKind::kSum:
+    case query::AggKind::kAvg:
+    case query::AggKind::kMin:
+    case query::AggKind::kMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Exact answer for a stats aggregate from a freshly collected bundle.
+Answer bundle_answer(query::AggKind agg, const StatsBundle& b) {
+  Answer a;
+  const RangeStats& core = b.core;
+  switch (agg) {
+    case query::AggKind::kCount:
+      a.value = static_cast<double>(core.count);
+      break;
+    case query::AggKind::kSum:
+      a.value = static_cast<double>(core.sum);
+      break;
+    case query::AggKind::kAvg:
+      if (core.count == 0) {
+        a.empty_selection = true;
+      } else {
+        a.value = static_cast<double>(core.sum) /
+                  static_cast<double>(core.count);
+      }
+      break;
+    case query::AggKind::kMin:
+      if (core.count == 0) {
+        a.empty_selection = true;
+      } else {
+        a.value = static_cast<double>(core.min);
+      }
+      break;
+    case query::AggKind::kMax:
+      if (core.count == 0) {
+        a.empty_selection = true;
+      } else {
+        a.value = static_cast<double>(core.max);
+      }
+      break;
+    default:
+      throw PreconditionError("bundle_answer: not a stats aggregate");
+  }
+  a.exact = true;
+  return a;
+}
+
+}  // namespace
+
+QueryService::QueryService(query::Deployment deployment, ServiceConfig config)
+    : deployment_(deployment),
+      config_(config),
+      executor_(deployment),
+      scheduler_(std::make_unique<SharedPlanScheduler>(
+          deployment.net, deployment.tree, deployment.max_value_bound,
+          config.max_delta, config.cache_horizon_epochs)),
+      cache_(deployment.max_value_bound, config.max_delta,
+             config.cache_horizon_epochs, config.cache_capacity),
+      farm_(config.threads),
+      last_update_epoch_(deployment.net.node_count(), 0) {
+  SENSORNET_EXPECTS(config.max_delta >= 0);
+  SENSORNET_EXPECTS(config.cache_horizon_epochs >= 1);
+}
+
+QueryService::~QueryService() = default;
+
+QueryService::ParsedQuery QueryService::parse_and_plan(
+    const std::string& text) const {
+  ParsedQuery out;
+  try {
+    out.q = query::parse_query(text);
+    out.plan = query::plan_query(out.q);
+    out.region =
+        query::region_signature(out.q, deployment_.max_value_bound);
+    out.ok = true;
+  } catch (const query::QueryError& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+Result<Admission> QueryService::submit(const std::string& text) {
+  ParsedQuery parsed = parse_and_plan(text);
+  if (!parsed.ok) return Result<Admission>::failure(std::move(parsed.error));
+  return admit(std::move(parsed));
+}
+
+std::vector<Result<Admission>> QueryService::submit_batch(
+    const std::vector<std::string>& texts) {
+  // Pure front half in parallel; cells share nothing and derive nothing from
+  // execution order, so any worker count yields identical ParsedQuery slots.
+  std::vector<ParsedQuery> parsed = farm_.map<ParsedQuery>(
+      texts.size(),
+      [&](std::size_t cell) { return parse_and_plan(texts[cell]); });
+  // Serial back half in submission order: id allocation, group creation and
+  // install broadcasts all touch the shared network.
+  std::vector<Result<Admission>> out;
+  out.reserve(texts.size());
+  for (ParsedQuery& p : parsed) {
+    if (!p.ok) {
+      out.push_back(Result<Admission>::failure(std::move(p.error)));
+    } else {
+      out.push_back(admit(std::move(p)));
+    }
+  }
+  return out;
+}
+
+Admission QueryService::admit(ParsedQuery&& parsed) {
+  LiveQuery lq;
+  lq.id = next_id_++;
+  lq.q = std::move(parsed.q);
+  lq.plan = std::move(parsed.plan);
+  lq.region = parsed.region;
+  lq.registered_epoch = epoch_;
+  lq.every = lq.q.every_epochs.value_or(0);
+
+  Admission adm;
+  adm.id = lq.id;
+  adm.continuous = lq.every != 0;
+
+  if (!config_.share_aggregation) {
+    lq.path = Path::kExecutor;
+    adm.plan = "naive: " + lq.plan.description;
+  } else if (is_stats_agg(lq.q.agg)) {
+    lq.path = Path::kStats;
+    lq.group = scheduler_->ensure_stats_group(lq.region);
+    adm.plan = "shared stats bundle, group " + std::to_string(lq.group);
+  } else if (lq.q.agg == query::AggKind::kCountDistinct) {
+    lq.path = Path::kDistinct;
+    const unsigned registers =
+        lq.plan.strategy == query::Strategy::kApproxDistinct
+            ? lq.plan.registers
+            : 0;
+    lq.group = scheduler_->ensure_distinct_group(lq.region, registers);
+    adm.plan = "shared distinct group " + std::to_string(lq.group);
+  } else {
+    lq.path = Path::kExecutor;  // median/quantile: no shared representation
+    adm.plan = "per-query: " + lq.plan.description;
+  }
+
+  if (adm.continuous) {
+    live_.emplace(lq.id, std::move(lq));
+  } else {
+    const bool cacheable = lq.path == Path::kStats && config_.use_cache;
+    adm.answer = cacheable && cache_serves(lq) ? answer_cached(lq)
+                                               : answer_fresh(lq);
+  }
+  return adm;
+}
+
+bool QueryService::cancel(QueryId id) {
+  return live_.erase(id) != 0;
+}
+
+bool QueryService::cache_serves(const LiveQuery& lq) const {
+  return cache_
+      .lookup(lq.region, lq.q.agg, lq.q.error, epoch_)
+      .has_value();
+}
+
+Answer QueryService::answer_cached(const LiveQuery& lq) {
+  const auto hit = cache_.lookup(lq.region, lq.q.agg, lq.q.error, epoch_);
+  SENSORNET_EXPECTS(hit.has_value());
+  Answer a;
+  a.id = lq.id;
+  a.epoch = epoch_;
+  a.value = hit->value;
+  a.error_bound = hit->bound;
+  a.exact = hit->exact;
+  a.from_cache = true;
+  ++telemetry_.answers;
+  ++telemetry_.cache_hits;
+  return a;
+}
+
+Answer QueryService::answer_fresh(const LiveQuery& lq) {
+  Answer a;
+  switch (lq.path) {
+    case Path::kStats: {
+      const StatsBundle& b = scheduler_->collect_stats(lq.group, epoch_);
+      if (config_.use_cache &&
+          std::find(stored_this_epoch_.begin(), stored_this_epoch_.end(),
+                    lq.group) == stored_this_epoch_.end()) {
+        cache_.store(lq.region, epoch_, b);
+        stored_this_epoch_.push_back(lq.group);
+      }
+      a = bundle_answer(lq.q.agg, b);
+      ++telemetry_.fresh_stats_answers;
+      break;
+    }
+    case Path::kDistinct: {
+      a.value = scheduler_->collect_distinct(lq.group, epoch_);
+      a.exact = lq.plan.strategy == query::Strategy::kExactDistinct;
+      ++telemetry_.distinct_answers;
+      break;
+    }
+    case Path::kExecutor: {
+      const query::QueryResult r = executor_.run(lq.q, lq.plan);
+      a.value = r.value;
+      a.exact = r.is_exact;
+      ++telemetry_.executor_runs;
+      break;
+    }
+  }
+  a.id = lq.id;
+  a.epoch = epoch_;
+  ++telemetry_.answers;
+  return a;
+}
+
+std::vector<Answer> QueryService::run_epoch(
+    std::span<const SensorUpdate> updates) {
+  ++epoch_;
+  stored_this_epoch_.clear();
+
+  // Apply the batch under the drift model the cache's soundness rests on.
+  std::vector<NodeId> touched;
+  touched.reserve(updates.size());
+  for (const SensorUpdate& u : updates) {
+    SENSORNET_EXPECTS(u.node < deployment_.net.node_count());
+    SENSORNET_EXPECTS(last_update_epoch_[u.node] != epoch_);
+    last_update_epoch_[u.node] = epoch_;
+    SENSORNET_EXPECTS(u.value >= 0 &&
+                      u.value <= deployment_.max_value_bound);
+    const auto items = deployment_.net.items(u.node);
+    SENSORNET_EXPECTS(!items.empty());
+    const Value old = items[0];
+    const Value delta = u.value > old ? u.value - old : old - u.value;
+    SENSORNET_EXPECTS(delta <= config_.max_delta);
+    if (delta == 0) continue;  // no-op writes don't dirty the tree
+    deployment_.net.update_item(u.node, 0, u.value);
+    touched.push_back(u.node);
+    ++telemetry_.updates_applied;
+  }
+  if (config_.share_aggregation) {
+    scheduler_->note_updates(touched, epoch_);
+  }
+
+  // Which stats groups can be served entirely from cache this epoch? A
+  // single subscriber whose tolerance the cache cannot meet forces a fresh
+  // collection — and once it is paid, every due subscriber of the group
+  // rides it for free, so "partially cached" never happens within a group.
+  std::vector<GroupId> fresh_needed;
+  const auto is_due = [&](const LiveQuery& lq) {
+    return lq.every != 0 && epoch_ > lq.registered_epoch &&
+           (epoch_ - lq.registered_epoch) % lq.every == 0;
+  };
+  if (config_.share_aggregation && config_.use_cache) {
+    for (const auto& [id, lq] : live_) {
+      if (lq.path != Path::kStats || !is_due(lq)) continue;
+      if (!cache_serves(lq)) fresh_needed.push_back(lq.group);
+    }
+  }
+
+  std::vector<Answer> answers;
+  for (const auto& [id, lq] : live_) {  // map order == id order
+    if (!is_due(lq)) continue;
+    const bool cacheable =
+        lq.path == Path::kStats && config_.share_aggregation &&
+        config_.use_cache &&
+        std::find(fresh_needed.begin(), fresh_needed.end(), lq.group) ==
+            fresh_needed.end();
+    answers.push_back(cacheable ? answer_cached(lq) : answer_fresh(lq));
+  }
+  return answers;
+}
+
+}  // namespace sensornet::service

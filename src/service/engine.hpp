@@ -1,0 +1,191 @@
+// Long-running concurrent query service.
+//
+// The classic stack (parser -> planner -> executor) answers one query at a
+// time, paying a full tree aggregation per question. The service is the
+// multi-tenant layer on top: clients register one-shot and continuous
+// (`EVERY n EPOCHS`) queries, sensor updates arrive in per-epoch batches,
+// and due queries are answered each epoch with three cost levers:
+//
+//   1. Shared aggregation — live queries are grouped by (region, aggregate
+//      family); one spanning-tree collection per epoch serves every
+//      subscriber of a group (see shared_plan.hpp).
+//   2. Incremental re-evaluation — collections descend only into subtrees
+//      that changed since the group's last visit, driven by the scheduler's
+//      dirty marks.
+//   3. Bounded-error result cache — a query with an ERROR tolerance can be
+//      answered from a stale stats bundle when the deterministic drift
+//      bound (staleness x max_delta, see result_cache.hpp) fits its
+//      epsilon: zero bits on the air.
+//
+// Concurrency model: submit_batch() parses, plans and canonicalizes regions
+// on a deterministic work-stealing farm (pure, per-cell work); everything
+// that touches the simulated network stays serial, in query-id order. The
+// answer stream is therefore byte-identical at any thread count — the same
+// discipline the bench farm uses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/common/trial_farm.hpp"
+#include "src/common/types.hpp"
+#include "src/query/executor.hpp"
+#include "src/query/planner.hpp"
+#include "src/service/result_cache.hpp"
+#include "src/service/shared_plan.hpp"
+
+namespace sensornet::service {
+
+using QueryId = std::uint32_t;
+
+struct ServiceConfig {
+  /// Drift model: a reading moves by at most this much per epoch (enforced
+  /// on the update feed; the cache's bounds are sound exactly because of
+  /// this).
+  Value max_delta = 4;
+  /// Margin (in epochs) baked into collected bundles; cache entries bracket
+  /// ranged regions for this many epochs of staleness.
+  std::uint32_t cache_horizon_epochs = 8;
+  std::size_t cache_capacity = 1024;
+  /// Off = the naive baseline: every due query re-runs the one-shot
+  /// executor, no marks, no cache. The bench's comparator.
+  bool share_aggregation = true;
+  /// Cache applies to the shared stats path only.
+  bool use_cache = true;
+  /// Workers for submit_batch's parse/plan stage; 0 = hardware concurrency.
+  unsigned threads = 1;
+};
+
+/// One sensor's new reading for the epoch being run.
+struct SensorUpdate {
+  NodeId node = 0;
+  Value value = 0;
+};
+
+struct Answer {
+  QueryId id = 0;
+  std::uint32_t epoch = 0;
+  double value = 0.0;
+  /// Deterministic bound on |value - exact_now|; 0 for fresh collections.
+  /// Randomized estimates (approximate COUNT_DISTINCT) carry a statistical
+  /// guarantee from their plan instead — exact is false, bound stays 0.
+  double error_bound = 0.0;
+  bool exact = true;
+  bool from_cache = false;
+  /// The WHERE region matched no readings (MIN/MAX/AVG undefined; value 0).
+  bool empty_selection = false;
+};
+
+/// Outcome of a successful submission.
+struct Admission {
+  QueryId id = 0;
+  bool continuous = false;
+  std::string plan;  // human-readable route through the service
+  /// One-shot queries are answered at admission; continuous ones first
+  /// answer at their next due epoch.
+  std::optional<Answer> answer;
+};
+
+struct ServiceTelemetry {
+  std::uint64_t answers = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t fresh_stats_answers = 0;
+  std::uint64_t distinct_answers = 0;
+  std::uint64_t executor_runs = 0;
+  std::uint64_t updates_applied = 0;
+};
+
+class QueryService {
+ public:
+  QueryService(query::Deployment deployment, ServiceConfig config);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Parses, plans and admits one query. Malformed text and degenerate
+  /// WHERE regions come back as failures carrying the parser/planner
+  /// diagnostic — admission errors are expected client behavior, not bugs.
+  Result<Admission> submit(const std::string& text);
+
+  /// Batch admission: the pure front half (parse/plan/region) runs on the
+  /// work-stealing farm; admission itself is serial in submission order, so
+  /// results are independent of thread count.
+  std::vector<Result<Admission>> submit_batch(
+      const std::vector<std::string>& texts);
+
+  /// Deregisters a continuous query. Returns false for unknown/one-shot
+  /// ids. Shared groups outlive their subscribers — their warmed partials
+  /// stay useful for the next subscriber.
+  bool cancel(QueryId id);
+
+  /// Advances the epoch: applies the update batch (validating the drift
+  /// model — at most one update per node per epoch, |new - old| <=
+  /// max_delta, values in [0, max_value_bound]), propagates dirty marks,
+  /// and answers every due continuous query, in query-id order.
+  std::vector<Answer> run_epoch(std::span<const SensorUpdate> updates);
+
+  std::uint32_t epoch() const { return epoch_; }
+  std::size_t live_queries() const { return live_.size(); }
+
+  const ServiceTelemetry& telemetry() const { return telemetry_; }
+  const SharedPlanStats& plan_stats() const { return scheduler_->stats(); }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  /// How the service routes a query each time it is due.
+  enum class Path {
+    kStats,     // shared stats-bundle group + result cache
+    kDistinct,  // shared distinct group
+    kExecutor,  // per-query one-shot executor (median/quantile, naive mode)
+  };
+
+  struct LiveQuery {
+    QueryId id = 0;
+    query::Query q;
+    query::Plan plan;
+    query::RegionSignature region;
+    Path path = Path::kExecutor;
+    GroupId group = 0;  // kStats/kDistinct only
+    std::uint32_t registered_epoch = 0;
+    std::uint32_t every = 0;  // 0 for one-shot
+  };
+
+  /// The pure front half of admission (no shared state, farm-safe).
+  struct ParsedQuery {
+    bool ok = false;
+    std::string error;
+    query::Query q;
+    query::Plan plan;
+    query::RegionSignature region;
+  };
+
+  ParsedQuery parse_and_plan(const std::string& text) const;
+  Admission admit(ParsedQuery&& parsed);
+  Answer answer_fresh(const LiveQuery& lq);
+  Answer answer_cached(const LiveQuery& lq);
+  bool cache_serves(const LiveQuery& lq) const;
+
+  query::Deployment deployment_;
+  ServiceConfig config_;
+  query::Executor executor_;
+  std::unique_ptr<SharedPlanScheduler> scheduler_;
+  ResultCache cache_;
+  TrialFarm farm_;
+
+  std::uint32_t epoch_ = 0;
+  QueryId next_id_ = 1;
+  std::map<QueryId, LiveQuery> live_;  // ordered: answers come out by id
+  std::vector<std::uint32_t> last_update_epoch_;  // per node, 0 = never
+  /// Stats groups already collected-and-stored this epoch (store-once guard).
+  std::vector<GroupId> stored_this_epoch_;
+  ServiceTelemetry telemetry_;
+};
+
+}  // namespace sensornet::service

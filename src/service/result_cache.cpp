@@ -1,0 +1,180 @@
+#include "src/service/result_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace sensornet::service {
+
+void RangeStats::observe(Value v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  count += 1;
+  sum += static_cast<std::uint64_t>(v);
+}
+
+void RangeStats::combine(const RangeStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+void StatsBundle::combine(const StatsBundle& other) {
+  core.combine(other.core);
+  inner.combine(other.inner);
+  outer.combine(other.outer);
+}
+
+ResultCache::ResultCache(Value max_value_bound, Value max_delta,
+                         std::uint32_t horizon_epochs, std::size_t capacity)
+    : max_value_bound_(max_value_bound),
+      max_delta_(max_delta),
+      horizon_epochs_(horizon_epochs),
+      capacity_(capacity) {
+  SENSORNET_EXPECTS(max_value_bound >= 0);
+  SENSORNET_EXPECTS(max_delta >= 0);
+  SENSORNET_EXPECTS(capacity > 0);
+}
+
+void ResultCache::store(const query::RegionSignature& region,
+                        std::uint32_t epoch, const StatsBundle& bundle) {
+  entries_[region] = Entry{epoch, bundle};
+  ++stores_;
+  if (entries_.size() > capacity_) {
+    // Evict the stalest entry — it is both the least likely to satisfy a
+    // tolerance and the first to expire outright.
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.epoch < victim->second.epoch) victim = it;
+    }
+    entries_.erase(victim);
+  }
+}
+
+std::optional<CachedAnswer> ResultCache::bracket(
+    const query::RegionSignature& region, query::AggKind agg,
+    std::uint32_t now_epoch) const {
+  const auto it = entries_.find(region);
+  if (it == entries_.end()) return std::nullopt;
+  const Entry& e = it->second;
+  SENSORNET_EXPECTS(now_epoch >= e.epoch);
+  const std::uint32_t staleness = now_epoch - e.epoch;
+  // Ranged regions are bracketed by the inner/outer margins, which only
+  // cover drifts up to the collection horizon.
+  if (!region.whole_domain && staleness > horizon_epochs_) return std::nullopt;
+  const double d =
+      static_cast<double>(staleness) * static_cast<double>(max_delta_);
+  const StatsBundle& b = e.bundle;
+
+  const auto answer = [](double value, double lo, double hi) {
+    return CachedAnswer{value, std::max(value - lo, hi - value),
+                        /*exact=*/false};
+  };
+
+  CachedAnswer out;
+  switch (agg) {
+    case query::AggKind::kCount: {
+      const auto value = static_cast<double>(b.core.count);
+      if (region.whole_domain) {
+        out = CachedAnswer{value, 0.0, false};  // membership is static
+      } else {
+        out = answer(value, static_cast<double>(b.inner.count),
+                     static_cast<double>(b.outer.count));
+      }
+      break;
+    }
+    case query::AggKind::kSum: {
+      const auto value = static_cast<double>(b.core.sum);
+      if (region.whole_domain) {
+        out = answer(value,
+                     value - static_cast<double>(b.core.count) * d,
+                     value + static_cast<double>(b.core.count) * d);
+      } else {
+        const double lo = std::max(
+            0.0, static_cast<double>(b.inner.sum) -
+                     static_cast<double>(b.inner.count) * d);
+        const double hi = static_cast<double>(b.outer.sum) +
+                          static_cast<double>(b.outer.count) * d;
+        out = answer(value, lo, hi);
+      }
+      break;
+    }
+    case query::AggKind::kAvg: {
+      if (b.core.count == 0) return std::nullopt;  // empty selection
+      const double value = static_cast<double>(b.core.sum) /
+                           static_cast<double>(b.core.count);
+      if (region.whole_domain) {
+        out = answer(value, value - d, value + d);
+      } else {
+        if (b.inner.count == 0) return std::nullopt;  // count could hit zero
+        const double sum_lo = std::max(
+            0.0, static_cast<double>(b.inner.sum) -
+                     static_cast<double>(b.inner.count) * d);
+        const double sum_hi = static_cast<double>(b.outer.sum) +
+                              static_cast<double>(b.outer.count) * d;
+        out = answer(value, sum_lo / static_cast<double>(b.outer.count),
+                     sum_hi / static_cast<double>(b.inner.count));
+      }
+      break;
+    }
+    case query::AggKind::kMin: {
+      if (b.core.count == 0) return std::nullopt;
+      const auto value = static_cast<double>(b.core.min);
+      if (region.whole_domain) {
+        out = answer(value, std::max(0.0, value - d), value + d);
+      } else {
+        if (b.inner.count == 0) return std::nullopt;
+        const double lo = std::max(static_cast<double>(region.lo),
+                                   static_cast<double>(b.outer.min) - d);
+        out = answer(value, lo, static_cast<double>(b.inner.min) + d);
+      }
+      break;
+    }
+    case query::AggKind::kMax: {
+      if (b.core.count == 0) return std::nullopt;
+      const auto value = static_cast<double>(b.core.max);
+      if (region.whole_domain) {
+        out = answer(value, value - d,
+                     std::min(static_cast<double>(max_value_bound_),
+                              value + d));
+      } else {
+        if (b.inner.count == 0) return std::nullopt;
+        const double hi = std::min(static_cast<double>(region.hi),
+                                   static_cast<double>(b.outer.max) + d);
+        out = answer(value, static_cast<double>(b.inner.max) - d, hi);
+      }
+      break;
+    }
+    case query::AggKind::kMedian:
+    case query::AggKind::kQuantile:
+    case query::AggKind::kCountDistinct:
+      return std::nullopt;
+  }
+  out.bound = std::max(out.bound, 0.0);
+  out.exact = out.bound == 0.0;
+  return out;
+}
+
+std::optional<CachedAnswer> ResultCache::lookup(
+    const query::RegionSignature& region, query::AggKind agg,
+    std::optional<double> epsilon, std::uint32_t now_epoch) const {
+  const auto br = bracket(region, agg, now_epoch);
+  if (!br) return std::nullopt;
+  const double tolerance =
+      epsilon ? *epsilon * std::max(1.0, std::abs(br->value)) : 0.0;
+  if (br->bound > tolerance) return std::nullopt;
+  return br;
+}
+
+}  // namespace sensornet::service

@@ -1,0 +1,119 @@
+// Result cache with deterministic error bounds (the PASS idea).
+//
+// The query service collects, per shared-aggregation group, a *stats bundle*:
+// COUNT/SUM/MIN/MAX over the query region plus the same four aggregates over
+// a margin-shrunk ("inner") and margin-grown ("outer") copy of the region.
+// Under the model's drift assumption — a sensor's reading moves by at most
+// `max_delta` per epoch and stays in [0, max_value_bound] — a bundle frozen
+// at epoch t still brackets the *current* aggregate at epoch t + s:
+//
+//   d = s * max_delta                 (per-sensor worst-case drift)
+//   items in the inner region (margin M = horizon * max_delta >= d) cannot
+//   have left the region; items outside the outer region cannot have entered.
+//
+//   COUNT in [inner.count, outer.count]
+//   SUM   in [inner.sum - inner.count*d, outer.sum + outer.count*d]
+//   MIN   in [max(lo, outer.min - d),   inner.min + d]
+//   MAX   in [inner.max - d,            min(hi, outer.max + d)]
+//   AVG   in [sum_lo / count_hi,        sum_hi / count_lo]
+//
+// For whole-domain regions membership is static (values cannot leave
+// [0, max_value_bound]), so COUNT is exact at any staleness and SUM/AVG/
+// MIN/MAX tighten to pure value-drift bounds.
+//
+// A lookup is a *hit* when the bracket's half-width satisfies the query's
+// requested ERROR tolerance (interpreted relative to the answer); queries
+// without ERROR only hit when the bound is exactly zero (e.g. a repeated
+// query within the same epoch, or whole-domain COUNT). Hits are answered
+// without touching the network — zero bits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/common/types.hpp"
+#include "src/query/planner.hpp"
+
+namespace sensornet::service {
+
+/// COUNT/SUM/MIN/MAX over one value range. min/max are meaningful only when
+/// count > 0.
+struct RangeStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  Value min = 0;
+  Value max = 0;
+
+  void observe(Value v);
+  void combine(const RangeStats& other);
+
+  bool operator==(const RangeStats&) const = default;
+};
+
+/// One shared collection's result: stats over the core region and its
+/// margin-shrunk / margin-grown companions (inner ⊆ core ⊆ outer).
+struct StatsBundle {
+  RangeStats core;
+  RangeStats inner;
+  RangeStats outer;
+
+  void combine(const StatsBundle& other);
+
+  bool operator==(const StatsBundle&) const = default;
+};
+
+/// A cache-served answer: the frozen aggregate plus the deterministic bound
+/// on its distance from the exact current answer.
+struct CachedAnswer {
+  double value = 0.0;
+  double bound = 0.0;   // |value - exact_now| <= bound, guaranteed
+  bool exact = false;   // bound == 0
+};
+
+class ResultCache {
+ public:
+  /// `horizon_epochs` is the margin the collector used (M = horizon *
+  /// max_delta): entries older than that cannot bracket ranged regions and
+  /// expire for them.
+  ResultCache(Value max_value_bound, Value max_delta,
+              std::uint32_t horizon_epochs, std::size_t capacity = 1024);
+
+  /// Installs / refreshes the entry for `region` as of `epoch`.
+  void store(const query::RegionSignature& region, std::uint32_t epoch,
+             const StatsBundle& bundle);
+
+  /// Bound-checked lookup: returns an answer only when the deterministic
+  /// bound satisfies `epsilon` (relative tolerance; absent means "exact
+  /// required"). Never serves MEDIAN/QUANTILE/COUNT_DISTINCT — those
+  /// aggregates are not bracketable from a stats bundle.
+  std::optional<CachedAnswer> lookup(const query::RegionSignature& region,
+                                     query::AggKind agg,
+                                     std::optional<double> epsilon,
+                                     std::uint32_t now_epoch) const;
+
+  /// The raw bracket (no epsilon gate) — what lookup() compares against the
+  /// tolerance. Exposed for tests and for the service's "could the cache
+  /// serve this group" probe.
+  std::optional<CachedAnswer> bracket(const query::RegionSignature& region,
+                                      query::AggKind agg,
+                                      std::uint32_t now_epoch) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t stores() const { return stores_; }
+
+ private:
+  struct Entry {
+    std::uint32_t epoch = 0;
+    StatsBundle bundle;
+  };
+
+  Value max_value_bound_;
+  Value max_delta_;
+  std::uint32_t horizon_epochs_;
+  std::size_t capacity_;
+  std::uint64_t stores_ = 0;
+  std::map<query::RegionSignature, Entry> entries_;
+};
+
+}  // namespace sensornet::service

@@ -1,0 +1,385 @@
+#include "src/service/shared_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/codec.hpp"
+#include "src/common/error.hpp"
+#include "src/core/count_distinct.hpp"
+#include "src/proto/item_view.hpp"
+#include "src/proto/tree_broadcast.hpp"
+
+namespace sensornet::service {
+
+namespace {
+
+constexpr std::uint32_t kInvalidEpoch = std::numeric_limits<std::uint32_t>::max();
+constexpr std::uint32_t kMarkSession = 0x7F00;
+constexpr std::uint16_t kMarkKind = 1;
+constexpr std::uint16_t kRequestKind = 1;
+constexpr std::uint16_t kResponseKind = 2;
+
+/// Index of `child` within the node's sorted children list.
+std::size_t child_index(const net::SpanningTree& tree, NodeId node,
+                        NodeId child) {
+  const auto& kids = tree.children[node];
+  const auto it = std::lower_bound(kids.begin(), kids.end(), child);
+  SENSORNET_EXPECTS(it != kids.end() && *it == child);
+  return static_cast<std::size_t>(it - kids.begin());
+}
+
+void encode_range_stats(BitWriter& w, const RangeStats& rs) {
+  encode_uint(w, rs.count);
+  if (rs.count == 0) return;
+  encode_uint(w, rs.sum);
+  encode_uint(w, static_cast<std::uint64_t>(rs.min));
+  encode_uint(w, static_cast<std::uint64_t>(rs.max - rs.min));
+}
+
+RangeStats decode_range_stats(BitReader& r) {
+  RangeStats rs;
+  rs.count = decode_uint(r);
+  if (rs.count == 0) return rs;
+  rs.sum = decode_uint(r);
+  rs.min = static_cast<Value>(decode_uint(r));
+  rs.max = rs.min + static_cast<Value>(decode_uint(r));
+  return rs;
+}
+
+}  // namespace
+
+// ---- group state ----------------------------------------------------------
+
+struct SharedPlanScheduler::Group {
+  enum class Family { kStats, kDistinct };
+
+  Family family = Family::kStats;
+  query::RegionSignature region;
+  unsigned registers = 0;  // distinct family: 0 = exact union wave
+  std::uint32_t session = 0;
+
+  // Incremental stats state: the parent-side cache of each child edge's
+  // subtree bundle and the epoch it was collected at (kInvalidEpoch when
+  // the edge has never been collected). Indexed [node][child_index].
+  std::vector<std::vector<StatsBundle>> child_partial;
+  std::vector<std::vector<std::uint32_t>> child_partial_epoch;
+
+  StatsBundle root_bundle;
+  double distinct_estimate = 0.0;
+  std::uint32_t last_collect_epoch = kInvalidEpoch;
+};
+
+// ---- local evaluation -----------------------------------------------------
+
+/// Distinct-family item filter: exposes only readings inside the group's
+/// region. The region was installed at every node by the group-creation
+/// broadcast, so this is node-local state, not root-side fiat.
+class SharedPlanScheduler::RegionView final : public proto::LocalItemView {
+ public:
+  explicit RegionView(const query::RegionSignature& region) : region_(region) {}
+
+  ValueSet items(sim::Network& net, NodeId node) const override {
+    ValueSet out;
+    for (const Value v : net.items(node)) {
+      if (v >= region_.lo && v <= region_.hi) out.push_back(v);
+    }
+    return out;
+  }
+
+ private:
+  query::RegionSignature region_;
+};
+
+StatsBundle SharedPlanScheduler::local_bundle(NodeId node,
+                                              const Group& g) const {
+  StatsBundle b;
+  if (g.region.whole_domain) {
+    // Membership is static over the whole domain: the margins collapse and
+    // one RangeStats describes all three regions.
+    for (const Value v : net_.items(node)) b.core.observe(v);
+    b.inner = b.core;
+    b.outer = b.core;
+    return b;
+  }
+  const Value margin =
+      static_cast<Value>(horizon_epochs_) * max_delta_;
+  const Value lo = g.region.lo;
+  const Value hi = g.region.hi;
+  for (const Value v : net_.items(node)) {
+    if (v >= lo && v <= hi) b.core.observe(v);
+    if (v >= lo + margin && v <= hi - margin) b.inner.observe(v);
+    if (v >= lo - margin && v <= hi + margin) b.outer.observe(v);
+  }
+  return b;
+}
+
+// ---- dirty-mark propagation ----------------------------------------------
+
+class SharedPlanScheduler::MarkWave final : public sim::ProtocolHandler {
+ public:
+  MarkWave(SharedPlanScheduler& sched, std::uint32_t epoch,
+           std::vector<std::uint32_t>& forwarded_epoch)
+      : sched_(sched), epoch_(epoch), forwarded_epoch_(forwarded_epoch) {}
+
+  void emit_mark(sim::Network& net, NodeId node) {
+    if (node == sched_.tree_.root) return;
+    if (forwarded_epoch_[node] == epoch_) return;  // coalesced
+    forwarded_epoch_[node] = epoch_;
+    BitWriter w;
+    w.write_bit(true);
+    net.send(sim::Message::make(node, sched_.tree_.parent[node], kMarkSession,
+                                kMarkKind, std::move(w)));
+    ++sched_.stats_.mark_messages;
+  }
+
+  void on_message(sim::Network& net, NodeId receiver,
+                  const sim::Message& msg) override {
+    SENSORNET_EXPECTS(msg.session == kMarkSession && msg.kind == kMarkKind);
+    const std::size_t ci = child_index(sched_.tree_, receiver, msg.from);
+    sched_.child_changed_epoch_[receiver][ci] = epoch_;
+    sched_.subtree_changed_epoch_[receiver] = epoch_;
+    emit_mark(net, receiver);
+  }
+
+ private:
+  SharedPlanScheduler& sched_;
+  std::uint32_t epoch_;
+  std::vector<std::uint32_t>& forwarded_epoch_;
+};
+
+void SharedPlanScheduler::note_updates(std::span<const NodeId> updated,
+                                       std::uint32_t epoch) {
+  SENSORNET_EXPECTS(epoch != kNever && epoch != kInvalidEpoch);
+  if (updated.empty()) return;
+  // Per-epoch coalescing state: one vector reused across epochs would also
+  // work, but a mark wave touches only the updated nodes' root paths, so a
+  // fresh zeroed vector per batch keeps the logic obvious. (Epoch 0 is
+  // reserved as "never", so zero-initialization is the coalesced-for-no-one
+  // state.)
+  std::vector<std::uint32_t> forwarded(tree_.node_count(), kNever);
+  MarkWave wave(*this, epoch, forwarded);
+  for (const NodeId u : updated) {
+    SENSORNET_EXPECTS(u < tree_.node_count());
+    subtree_changed_epoch_[u] = epoch;
+    wave.emit_mark(net_, u);
+  }
+  net_.run(wave);
+}
+
+// ---- incremental stats collection ----------------------------------------
+
+class SharedPlanScheduler::StatsWave final : public sim::ProtocolHandler {
+ public:
+  StatsWave(SharedPlanScheduler& sched, Group& g, std::uint32_t epoch)
+      : sched_(sched),
+        g_(g),
+        epoch_(epoch),
+        pending_(sched.tree_.node_count(), 0),
+        accum_(sched.tree_.node_count()) {}
+
+  /// Runs the collection and returns the root's subtree bundle.
+  StatsBundle execute(sim::Network& net) {
+    activate(net, sched_.tree_.root);
+    net.run(*this);
+    SENSORNET_EXPECTS(pending_[sched_.tree_.root] == 0);
+    return accum_[sched_.tree_.root];
+  }
+
+  void on_message(sim::Network& net, NodeId receiver,
+                  const sim::Message& msg) override {
+    SENSORNET_EXPECTS(msg.session == g_.session);
+    if (msg.kind == kRequestKind) {
+      activate(net, receiver);
+      return;
+    }
+    SENSORNET_EXPECTS(msg.kind == kResponseKind);
+    BitReader r = msg.reader();
+    StatsBundle child;
+    child.core = decode_range_stats(r);
+    if (g_.region.whole_domain) {
+      child.inner = child.core;
+      child.outer = child.core;
+    } else {
+      child.inner = decode_range_stats(r);
+      child.outer = decode_range_stats(r);
+    }
+    const std::size_t ci = child_index(sched_.tree_, receiver, msg.from);
+    g_.child_partial[receiver][ci] = child;
+    g_.child_partial_epoch[receiver][ci] = epoch_;
+    accum_[receiver].combine(child);
+    SENSORNET_EXPECTS(pending_[receiver] > 0);
+    if (--pending_[receiver] == 0) respond(net, receiver);
+  }
+
+ private:
+  /// Computes the node's local bundle, serves clean child edges from the
+  /// parent-side partial cache, and descends only into subtrees that changed
+  /// since their partial was taken.
+  void activate(sim::Network& net, NodeId node) {
+    accum_[node] = sched_.local_bundle(node, g_);
+    const auto& kids = sched_.tree_.children[node];
+    for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+      const std::uint32_t have = g_.child_partial_epoch[node][ci];
+      const bool fresh = have != kInvalidEpoch &&
+                         sched_.child_changed_epoch_[node][ci] <= have;
+      if (fresh) {
+        accum_[node].combine(g_.child_partial[node][ci]);
+        ++sched_.stats_.edges_skipped;
+        continue;
+      }
+      BitWriter w;
+      w.write_bit(true);
+      net.send(sim::Message::make(node, kids[ci], g_.session, kRequestKind,
+                                  std::move(w)));
+      ++pending_[node];
+      ++sched_.stats_.edges_descended;
+    }
+    if (pending_[node] == 0) respond(net, node);
+  }
+
+  void respond(sim::Network& net, NodeId node) {
+    if (node == sched_.tree_.root) return;  // root keeps the result
+    const StatsBundle& b = accum_[node];
+    BitWriter w;
+    encode_range_stats(w, b.core);
+    if (!g_.region.whole_domain) {
+      encode_range_stats(w, b.inner);
+      encode_range_stats(w, b.outer);
+    }
+    net.send(sim::Message::make(node, sched_.tree_.parent[node], g_.session,
+                                kResponseKind, std::move(w)));
+  }
+
+  SharedPlanScheduler& sched_;
+  Group& g_;
+  std::uint32_t epoch_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<StatsBundle> accum_;
+};
+
+// ---- scheduler ------------------------------------------------------------
+
+SharedPlanScheduler::SharedPlanScheduler(sim::Network& net,
+                                         const net::SpanningTree& tree,
+                                         Value max_value_bound,
+                                         Value max_delta,
+                                         std::uint32_t horizon_epochs)
+    : net_(net),
+      tree_(tree),
+      max_value_bound_(max_value_bound),
+      max_delta_(max_delta),
+      horizon_epochs_(horizon_epochs),
+      subtree_changed_epoch_(tree.node_count(), kNever),
+      child_changed_epoch_(tree.node_count()) {
+  SENSORNET_EXPECTS(net.node_count() == tree.node_count());
+  SENSORNET_EXPECTS(max_value_bound >= 0 && max_delta >= 0);
+  for (NodeId u = 0; u < tree.node_count(); ++u) {
+    child_changed_epoch_[u].assign(tree.children[u].size(), kNever);
+  }
+}
+
+SharedPlanScheduler::~SharedPlanScheduler() = default;
+
+GroupId SharedPlanScheduler::ensure_stats_group(
+    const query::RegionSignature& region) {
+  const auto key = std::make_pair(region, 0u);
+  if (const auto it = stats_index_.find(key); it != stats_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<GroupId>(groups_.size());
+  auto g = std::make_unique<Group>();
+  g->family = Group::Family::kStats;
+  g->region = region;
+  g->session = next_session_++;
+  g->child_partial.resize(tree_.node_count());
+  g->child_partial_epoch.resize(tree_.node_count());
+  for (NodeId u = 0; u < tree_.node_count(); ++u) {
+    g->child_partial[u].resize(tree_.children[u].size());
+    g->child_partial_epoch[u].assign(tree_.children[u].size(), kInvalidEpoch);
+  }
+  if (!region.whole_domain) {
+    // Nodes must learn the region and margin they bracket — paid once per
+    // group, amortized over every subscriber and epoch.
+    proto::TreeBroadcast install(
+        tree_, next_session_++,
+        [](sim::Network&, NodeId, BitReader) { /* region noted */ });
+    BitWriter w;
+    encode_uint(w, static_cast<std::uint64_t>(region.lo));
+    encode_uint(w, static_cast<std::uint64_t>(region.hi - region.lo));
+    encode_uint(w, static_cast<std::uint64_t>(horizon_epochs_) *
+                       static_cast<std::uint64_t>(max_delta_));
+    install.execute(net_, std::move(w));
+  }
+  groups_.push_back(std::move(g));
+  stats_index_.emplace(key, id);
+  ++stats_.groups_created;
+  return id;
+}
+
+GroupId SharedPlanScheduler::ensure_distinct_group(
+    const query::RegionSignature& region, unsigned registers) {
+  const auto key = std::make_pair(region, registers);
+  if (const auto it = distinct_index_.find(key); it != distinct_index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<GroupId>(groups_.size());
+  auto g = std::make_unique<Group>();
+  g->family = Group::Family::kDistinct;
+  g->region = region;
+  g->registers = registers;
+  g->session = next_session_++;
+  if (!region.whole_domain) {
+    proto::TreeBroadcast install(
+        tree_, next_session_++,
+        [](sim::Network&, NodeId, BitReader) { /* region noted */ });
+    BitWriter w;
+    encode_uint(w, static_cast<std::uint64_t>(region.lo));
+    encode_uint(w, static_cast<std::uint64_t>(region.hi - region.lo));
+    install.execute(net_, std::move(w));
+  }
+  groups_.push_back(std::move(g));
+  distinct_index_.emplace(key, id);
+  ++stats_.groups_created;
+  return id;
+}
+
+const StatsBundle& SharedPlanScheduler::collect_stats(GroupId group,
+                                                      std::uint32_t epoch) {
+  SENSORNET_EXPECTS(group < groups_.size());
+  Group& g = *groups_[group];
+  SENSORNET_EXPECTS(g.family == Group::Family::kStats);
+  if (g.last_collect_epoch == epoch) return g.root_bundle;  // idempotent
+  StatsWave wave(*this, g, epoch);
+  g.root_bundle = wave.execute(net_);
+  g.last_collect_epoch = epoch;
+  ++stats_.stats_waves;
+  return g.root_bundle;
+}
+
+double SharedPlanScheduler::collect_distinct(GroupId group,
+                                             std::uint32_t epoch) {
+  SENSORNET_EXPECTS(group < groups_.size());
+  Group& g = *groups_[group];
+  SENSORNET_EXPECTS(g.family == Group::Family::kDistinct);
+  if (g.last_collect_epoch == epoch) return g.distinct_estimate;
+  const RegionView view(g.region);
+  const proto::LocalItemView& item_view =
+      g.region.whole_domain ? proto::raw_item_view()
+                            : static_cast<const proto::LocalItemView&>(view);
+  if (g.registers == 0) {
+    g.distinct_estimate = static_cast<double>(
+        core::exact_count_distinct(net_, tree_, item_view).distinct);
+  } else {
+    g.distinct_estimate =
+        core::approx_count_distinct(net_, tree_, g.registers,
+                                    proto::EstimatorKind::kHyperLogLog,
+                                    item_view)
+            .estimate;
+  }
+  g.last_collect_epoch = epoch;
+  ++stats_.distinct_waves;
+  return g.distinct_estimate;
+}
+
+}  // namespace sensornet::service

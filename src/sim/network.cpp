@@ -41,6 +41,14 @@ void Network::set_one_item_per_node(const ValueSet& flat) {
   }
 }
 
+void Network::update_item(NodeId node, std::size_t index, Value v) {
+  SENSORNET_EXPECTS(node < item_refs_.size());
+  SENSORNET_EXPECTS(v >= 0);
+  const ItemRef ref = item_refs_[node];
+  SENSORNET_EXPECTS(index < ref.len);
+  item_slab_[ref.offset + index] = v;
+}
+
 std::span<const Value> Network::items(NodeId node) const {
   SENSORNET_EXPECTS(node < item_refs_.size());
   const ItemRef ref = item_refs_[node];

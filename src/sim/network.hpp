@@ -67,6 +67,13 @@ class Network {
   /// the next set_items / set_one_item_per_node call.
   std::span<const Value> items(NodeId node) const;
 
+  /// Overwrites the node's `index`-th item in place — the sensor-update feed
+  /// of the continuous-query service. Unlike set_items this never grows the
+  /// slab, so a long-running stream of per-epoch update batches has zero
+  /// allocation cost. The value must be non-negative and `index` must
+  /// address an existing item.
+  void update_item(NodeId node, std::size_t index, Value v);
+
   /// The node's private random stream ("infinite tape of random bits").
   Xoshiro256& rng(NodeId node);
 

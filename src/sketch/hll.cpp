@@ -231,7 +231,7 @@ void Hll::add_random(Xoshiro256& rng) {
 }
 
 // add_sum lives in odi_sum.cpp, next to the multinomial-split sampling it
-// shares with the legacy observe_sum shim.
+// is built from.
 
 Result<void> Hll::merge(const Hll& other) {
   if (!same_geometry(other)) {

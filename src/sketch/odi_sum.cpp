@@ -50,9 +50,7 @@ unsigned sample_max_geometric(std::uint64_t count, Xoshiro256& rng) {
 
 namespace {
 
-/// Works against any sketch exposing count-compatible observe(bucket, rank);
-/// shared by the RegisterArray shim and Hll::add_sum so both draw the same
-/// rng sequence.
+/// Works against any sketch exposing count-compatible observe(bucket, rank).
 template <typename Sketch>
 void observe_sum_into(Sketch& sketch, unsigned m, std::uint64_t value,
                       Xoshiro256& rng) {
@@ -73,13 +71,6 @@ void observe_sum_into(Sketch& sketch, unsigned m, std::uint64_t value,
 }
 
 }  // namespace
-
-namespace detail {
-void observe_sum_registers(RegisterArray& regs, std::uint64_t value,
-                           Xoshiro256& rng) {
-  observe_sum_into(regs, regs.count(), value, rng);
-}
-}  // namespace detail
 
 void Hll::add_sum(std::uint64_t value, Xoshiro256& rng) {
   observe_sum_into(*this, m(), value, rng);

@@ -21,21 +21,6 @@
 
 namespace sensornet::sketch {
 
-namespace detail {
-/// Non-deprecated implementation backing the observe_sum shim; the same
-/// multinomial-split fold also backs sketch::Hll::add_sum.
-void observe_sum_registers(RegisterArray& regs, std::uint64_t value,
-                           Xoshiro256& rng);
-}  // namespace detail
-
-/// Folds `value` unit-observations into the registers in O(m) time.
-/// A zero value contributes nothing.
-[[deprecated("use sketch::Hll::add_sum")]]
-inline void observe_sum(RegisterArray& regs, std::uint64_t value,
-                        Xoshiro256& rng) {
-  detail::observe_sum_registers(regs, value, rng);
-}
-
 /// Samples Binomial(n, 1/m) (exact inversion for small n, normal
 /// approximation with continuity correction above the cutoff — fine for a
 /// simulator, the approximation error is far below the sketch's sigma).

@@ -9,8 +9,9 @@
 // LEGACY: superseded by sketch::Hll (src/sketch/hll.hpp), which adds a
 // sparse representation, bit-packed dense storage with word-at-a-time merge,
 // and a versioned self-describing wire format. This byte-per-register class
-// remains only as the state behind the deprecated observe_*/*_estimate
-// free-function shims (loglog.hpp, odi_sum.hpp) for one release.
+// survives as a plain merge-baseline and fuzz-decode target (micro_sketch,
+// fuzz_decode_test); the deprecated observe_*/*_estimate free-function
+// shims that used to sit on top of it have been removed.
 #pragma once
 
 #include <cstdint>

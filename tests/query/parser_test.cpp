@@ -86,5 +86,83 @@ TEST(Parser, KeepsOriginalText) {
   EXPECT_EQ(parse_query(text).text, text);
 }
 
+/// The exact diagnostic text the service surfaces to clients on admission
+/// failures — pinned so a reworded parser does not silently break them.
+std::string thrown_message(const std::string& text) {
+  try {
+    parse_query(text);
+  } catch (const QueryError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Parser, BetweenRange) {
+  const Query q =
+      parse_query("SELECT SUM(v) FROM s WHERE v BETWEEN 10 AND 50");
+  ASSERT_TRUE(q.where.has_value());
+  EXPECT_EQ(q.where->cmp, Condition::Cmp::kBetween);
+  EXPECT_EQ(q.where->literal, 10);
+  EXPECT_EQ(q.where->literal2, 50);
+}
+
+TEST(Parser, BetweenAcceptsInvertedRangeForPlannerToReject) {
+  // Syntax-level acceptance; the planner owns the semantic diagnostic.
+  const Query q =
+      parse_query("SELECT SUM(v) FROM s WHERE v BETWEEN 50 AND 10");
+  EXPECT_EQ(q.where->literal, 50);
+  EXPECT_EQ(q.where->literal2, 10);
+}
+
+TEST(Parser, MalformedBetweenThrows) {
+  EXPECT_NE(thrown_message("SELECT SUM(v) FROM s WHERE v BETWEEN 10 50")
+                .find("expected 'AND' between BETWEEN bounds"),
+            std::string::npos);
+  EXPECT_THROW(parse_query("SELECT SUM(v) FROM s WHERE v BETWEEN 10 AND"),
+               QueryError);
+  EXPECT_THROW(parse_query("SELECT SUM(v) FROM s WHERE v BETWEEN AND 10"),
+               QueryError);
+  EXPECT_THROW(
+      parse_query("SELECT SUM(v) FROM s WHERE v BETWEEN 1.5 AND 10"),
+      QueryError);
+  EXPECT_THROW(parse_query("SELECT SUM(v) FROM s WHERE v BETWEEN -3 AND 10"),
+               QueryError);
+}
+
+TEST(Parser, EveryClauseMakesQueryContinuous) {
+  const Query q = parse_query("SELECT COUNT(v) FROM s EVERY 4 EPOCHS");
+  ASSERT_TRUE(q.every_epochs.has_value());
+  EXPECT_EQ(*q.every_epochs, 4u);
+  EXPECT_EQ(*parse_query("SELECT COUNT(v) FROM s EVERY 1 EPOCH").every_epochs,
+            1u);
+  EXPECT_FALSE(parse_query("SELECT COUNT(v) FROM s").every_epochs.has_value());
+}
+
+TEST(Parser, EveryComposesWithWhereAndError) {
+  const Query q = parse_query(
+      "SELECT SUM(v) FROM s WHERE v BETWEEN 10 AND 50 EVERY 4 EPOCHS "
+      "ERROR 0.05");
+  EXPECT_EQ(*q.every_epochs, 4u);
+  EXPECT_DOUBLE_EQ(*q.error, 0.05);
+  EXPECT_EQ(q.where->cmp, Condition::Cmp::kBetween);
+}
+
+TEST(Parser, MalformedEveryThrows) {
+  const std::string interval_msg =
+      "EVERY interval must be a positive whole number of epochs";
+  EXPECT_NE(thrown_message("SELECT COUNT(v) FROM s EVERY 0 EPOCHS")
+                .find(interval_msg),
+            std::string::npos);
+  EXPECT_NE(thrown_message("SELECT COUNT(v) FROM s EVERY 2.5 EPOCHS")
+                .find(interval_msg),
+            std::string::npos);
+  EXPECT_NE(thrown_message("SELECT COUNT(v) FROM s EVERY 4")
+                .find("expected 'EPOCHS' after the EVERY interval"),
+            std::string::npos);
+  EXPECT_THROW(parse_query("SELECT COUNT(v) FROM s EVERY EPOCHS"), QueryError);
+  EXPECT_THROW(parse_query("SELECT COUNT(v) FROM s EVERY -2 EPOCHS"),
+               QueryError);
+}
+
 }  // namespace
 }  // namespace sensornet::query

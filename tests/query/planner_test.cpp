@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "src/query/lexer.hpp"
 #include "src/query/parser.hpp"
 
 namespace sensornet::query {
@@ -69,6 +70,72 @@ TEST(Planner, DescriptionMentionsStrategy) {
   const Plan p = plan_query(parse_query("SELECT MEDIAN(v) FROM s"));
   EXPECT_NE(p.description.find("MEDIAN"), std::string::npos);
   EXPECT_NE(p.description.find("fig1"), std::string::npos);
+}
+
+RegionSignature sig_of(const std::string& text, Value bound = 100) {
+  return region_signature(parse_query(text), bound);
+}
+
+TEST(RegionSignature, CanonicalizesEveryComparison) {
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v < 10"),
+            (RegionSignature{0, 9, false}));
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v <= 10"),
+            (RegionSignature{0, 10, false}));
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v > 10"),
+            (RegionSignature{11, 100, false}));
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v >= 10"),
+            (RegionSignature{10, 100, false}));
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v BETWEEN 10 AND 50"),
+            (RegionSignature{10, 50, false}));
+}
+
+TEST(RegionSignature, WholeDomainForms) {
+  // No WHERE, and WHEREs that exclude nothing, all canonicalize equal —
+  // that equality is what lets the scheduler share one group across them.
+  const RegionSignature whole{0, 100, true};
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s"), whole);
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v >= 0"), whole);
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v <= 100"), whole);
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v BETWEEN 0 AND 100"),
+            whole);
+}
+
+TEST(RegionSignature, ClampsToValueBound) {
+  // A range reaching past the model's bound is the same region as one
+  // stopping at it.
+  EXPECT_EQ(sig_of("SELECT COUNT(v) FROM s WHERE v BETWEEN 40 AND 4000"),
+            (RegionSignature{40, 100, false}));
+}
+
+/// Degenerate-region diagnostics are pinned: the service's admission path
+/// forwards them verbatim to clients.
+std::string region_error(const std::string& text, Value bound = 100) {
+  try {
+    region_signature(parse_query(text), bound);
+  } catch (const QueryError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(RegionSignature, InvertedRangeDiagnosticIsPinned) {
+  EXPECT_NE(region_error("SELECT COUNT(v) FROM s WHERE v BETWEEN 50 AND 10")
+                .find("WHERE range is empty (lower bound exceeds upper bound)"),
+            std::string::npos);
+}
+
+TEST(RegionSignature, EmptyRangeDiagnosticIsPinned) {
+  const std::string pinned = "WHERE range selects no representable value";
+  // v < 0: upper bound canonicalizes below the domain.
+  EXPECT_NE(region_error("SELECT COUNT(v) FROM s WHERE v < 0").find(pinned),
+            std::string::npos);
+  // v > bound: lower bound canonicalizes above the domain.
+  EXPECT_NE(region_error("SELECT COUNT(v) FROM s WHERE v > 100").find(pinned),
+            std::string::npos);
+  EXPECT_NE(
+      region_error("SELECT COUNT(v) FROM s WHERE v BETWEEN 200 AND 300")
+          .find(pinned),
+      std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,265 @@
+#include "src/service/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/net/topology.hpp"
+
+namespace sensornet::service {
+namespace {
+
+constexpr Value kBound = 1000;
+
+struct Fixture {
+  sim::Network net;
+  net::SpanningTree tree;
+  QueryService svc;
+  std::vector<Value> mirror;  // ground truth the simulator also holds
+
+  explicit Fixture(ServiceConfig cfg = {}, std::uint64_t seed = 11)
+      : net(net::make_grid(6, 6), seed),
+        tree(net::bfs_tree(net.graph(), 0)),
+        svc(query::Deployment{net, tree, kBound}, cfg) {
+    mirror.resize(36);
+    for (NodeId u = 0; u < 36; ++u) {
+      mirror[u] = static_cast<Value>((u * 53) % 300);
+    }
+    net.set_one_item_per_node(mirror);
+  }
+
+  /// Drifts node `u` by `delta` (clamped to the model) and returns the
+  /// update record.
+  SensorUpdate drift(NodeId u, Value delta) {
+    const Value v =
+        std::clamp<Value>(mirror[u] + delta, 0, kBound);
+    mirror[u] = v;
+    return SensorUpdate{u, v};
+  }
+
+  double exact(const std::string& agg, Value lo, Value hi) const {
+    RangeStats rs;
+    for (const Value v : mirror) {
+      if (v >= lo && v <= hi) rs.observe(v);
+    }
+    if (agg == "COUNT") return static_cast<double>(rs.count);
+    if (agg == "SUM") return static_cast<double>(rs.sum);
+    if (agg == "MIN") return static_cast<double>(rs.min);
+    if (agg == "MAX") return static_cast<double>(rs.max);
+    return static_cast<double>(rs.sum) / static_cast<double>(rs.count);
+  }
+};
+
+TEST(QueryService, OneShotQueriesAnswerAtAdmission) {
+  Fixture f;
+  const auto r = f.svc.submit("SELECT SUM(v) FROM s WHERE v BETWEEN 50 AND 250");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().continuous);
+  ASSERT_TRUE(r.value().answer.has_value());
+  const Answer& a = *r.value().answer;
+  EXPECT_DOUBLE_EQ(a.value, f.exact("SUM", 50, 250));
+  EXPECT_TRUE(a.exact);
+  EXPECT_FALSE(a.from_cache);
+  EXPECT_EQ(f.svc.live_queries(), 0u);  // one-shots do not register
+}
+
+TEST(QueryService, AdmissionForwardsPinnedDiagnostics) {
+  Fixture f;
+  const auto bad_parse = f.svc.submit("SELECT COUNT(v) FROM s EVERY 0 EPOCHS");
+  ASSERT_FALSE(bad_parse.ok());
+  EXPECT_NE(bad_parse.error().find(
+                "EVERY interval must be a positive whole number of epochs"),
+            std::string::npos);
+  const auto inverted =
+      f.svc.submit("SELECT COUNT(v) FROM s WHERE v BETWEEN 50 AND 10");
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_NE(inverted.error().find(
+                "WHERE range is empty (lower bound exceeds upper bound)"),
+            std::string::npos);
+  const auto empty = f.svc.submit("SELECT COUNT(v) FROM s WHERE v > 1000");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.error().find("WHERE range selects no representable value"),
+            std::string::npos);
+  EXPECT_EQ(f.svc.live_queries(), 0u);
+}
+
+TEST(QueryService, ContinuousQueriesAnswerOnTheirSchedule) {
+  Fixture f;
+  const auto r = f.svc.submit("SELECT COUNT(v) FROM s EVERY 2 EPOCHS");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().continuous);
+  EXPECT_FALSE(r.value().answer.has_value());
+  EXPECT_EQ(f.svc.live_queries(), 1u);
+
+  EXPECT_TRUE(f.svc.run_epoch({}).empty());   // epoch 1: not due
+  const auto due = f.svc.run_epoch({});       // epoch 2: due
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].id, r.value().id);
+  EXPECT_EQ(due[0].epoch, 2u);
+  EXPECT_DOUBLE_EQ(due[0].value, 36.0);
+  EXPECT_TRUE(f.svc.run_epoch({}).empty());   // epoch 3
+  EXPECT_EQ(f.svc.run_epoch({}).size(), 1u);  // epoch 4
+}
+
+TEST(QueryService, CancelStopsAContinuousQuery) {
+  Fixture f;
+  const auto r = f.svc.submit("SELECT COUNT(v) FROM s EVERY 1 EPOCHS");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(f.svc.run_epoch({}).size(), 1u);
+  EXPECT_TRUE(f.svc.cancel(r.value().id));
+  EXPECT_FALSE(f.svc.cancel(r.value().id));  // already gone
+  EXPECT_TRUE(f.svc.run_epoch({}).empty());
+  EXPECT_EQ(f.svc.live_queries(), 0u);
+}
+
+TEST(QueryService, UpdatesFlowIntoAnswers) {
+  Fixture f;
+  f.svc.submit("SELECT SUM(v) FROM s EVERY 1 EPOCHS").value();
+  std::vector<SensorUpdate> batch{f.drift(3, 4), f.drift(17, -4)};
+  const auto answers = f.svc.run_epoch(batch);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_DOUBLE_EQ(answers[0].value, f.exact("SUM", 0, kBound));
+}
+
+TEST(QueryService, UpdateBatchesAreValidatedAgainstTheDriftModel) {
+  Fixture f;
+  const Value v0 = f.mirror[0];
+  // Too-large jump violates max_delta.
+  const std::vector<SensorUpdate> jump{{0, v0 + 5}};
+  EXPECT_THROW(f.svc.run_epoch(jump), PreconditionError);
+  // Two updates for one node in one epoch.
+  Fixture g;
+  const std::vector<SensorUpdate> dup{{0, g.mirror[0] + 1},
+                                      {0, g.mirror[0] + 2}};
+  EXPECT_THROW(g.svc.run_epoch(dup), PreconditionError);
+}
+
+TEST(QueryService, CacheServesTolerantContinuousQueries) {
+  Fixture f;
+  // Whole-domain AVG with a loose tolerance: after the first collection the
+  // cache's drift bound (staleness * max_delta) stays inside epsilon for
+  // several epochs, so due answers come from the cache with zero traffic.
+  f.svc.submit("SELECT AVG(v) FROM s EVERY 1 EPOCHS ERROR 0.2").value();
+  auto first = f.svc.run_epoch({});
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_FALSE(first[0].from_cache);
+
+  const auto msgs_before = f.net.summary().total_messages;
+  for (std::uint32_t e = 0; e < 3; ++e) {
+    std::vector<SensorUpdate> batch{f.drift(5, 2)};
+    const auto answers = f.svc.run_epoch(batch);
+    ASSERT_EQ(answers.size(), 1u);
+    EXPECT_TRUE(answers[0].from_cache);
+    EXPECT_GT(answers[0].error_bound, 0.0);
+    // The deterministic bound must contain the true current answer.
+    EXPECT_LE(std::abs(answers[0].value - f.exact("AVG", 0, kBound)),
+              answers[0].error_bound);
+  }
+  // Cache hits cost only the dirty marks, never a collection wave.
+  EXPECT_LT(f.net.summary().total_messages - msgs_before, 3u * 36u);
+  EXPECT_EQ(f.svc.telemetry().cache_hits, 3u);
+}
+
+TEST(QueryService, ExactSubscriberForcesFreshCollectionForTheGroup) {
+  Fixture f;
+  // Same region, one tolerant and one exact subscriber: the exact one
+  // forces a fresh collection each due epoch, and both then ride it.
+  f.svc.submit("SELECT AVG(v) FROM s EVERY 1 EPOCHS ERROR 0.2").value();
+  f.svc.submit("SELECT AVG(v) FROM s EVERY 1 EPOCHS").value();
+  f.svc.run_epoch({});
+  std::vector<SensorUpdate> batch{f.drift(9, 3)};
+  const auto answers = f.svc.run_epoch(batch);
+  ASSERT_EQ(answers.size(), 2u);
+  for (const Answer& a : answers) {
+    EXPECT_FALSE(a.from_cache);
+    EXPECT_TRUE(a.exact);
+    EXPECT_DOUBLE_EQ(a.value, f.exact("AVG", 0, kBound));
+  }
+}
+
+TEST(QueryService, SharedGroupsCollectOncePerEpoch) {
+  Fixture f;
+  // Eight exact subscribers over the same region: one wave serves all.
+  for (int i = 0; i < 8; ++i) {
+    f.svc.submit("SELECT SUM(v) FROM s WHERE v BETWEEN 20 AND 200 "
+                 "EVERY 1 EPOCHS")
+        .value();
+  }
+  f.svc.run_epoch({});
+  EXPECT_EQ(f.svc.plan_stats().stats_waves, 1u);
+  const std::vector<SensorUpdate> batch{f.drift(2, 1)};
+  const auto answers = f.svc.run_epoch(batch);
+  EXPECT_EQ(answers.size(), 8u);
+  EXPECT_EQ(f.svc.plan_stats().stats_waves, 2u);
+  for (const Answer& a : answers) {
+    EXPECT_DOUBLE_EQ(a.value, f.exact("SUM", 20, 200));
+  }
+}
+
+TEST(QueryService, EmptySelectionsAreFlagged) {
+  Fixture f;
+  const auto r = f.svc.submit("SELECT MIN(v) FROM s WHERE v BETWEEN 990 AND 1000");
+  ASSERT_TRUE(r.ok());
+  const Answer& a = *r.value().answer;
+  EXPECT_TRUE(a.empty_selection);
+  EXPECT_DOUBLE_EQ(a.value, 0.0);
+}
+
+TEST(QueryService, DistinctAndMedianRouteAroundTheStatsPath) {
+  Fixture f;
+  const auto distinct = f.svc.submit("SELECT COUNT_DISTINCT(v) FROM s");
+  ASSERT_TRUE(distinct.ok());
+  std::vector<Value> seen;
+  for (const Value v : f.mirror) {
+    if (std::find(seen.begin(), seen.end(), v) == seen.end())
+      seen.push_back(v);
+  }
+  EXPECT_DOUBLE_EQ(distinct.value().answer->value,
+                   static_cast<double>(seen.size()));
+
+  const auto median = f.svc.submit("SELECT MEDIAN(v) FROM s");
+  ASSERT_TRUE(median.ok());
+  std::vector<Value> sorted = f.mirror;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(median.value().answer->value,
+                   static_cast<double>(sorted[17]));
+}
+
+TEST(QueryService, SharedModeShipsFewerBitsThanNaive) {
+  // The tentpole claim in miniature: overlapping continuous queries cost
+  // far fewer bits under shared aggregation than under per-query execution.
+  ServiceConfig naive_cfg;
+  naive_cfg.share_aggregation = false;
+  naive_cfg.use_cache = false;
+  Fixture shared{};
+  Fixture naive{naive_cfg};
+  const std::vector<std::string> workload{
+      "SELECT SUM(v) FROM s WHERE v BETWEEN 20 AND 200 EVERY 1 EPOCHS",
+      "SELECT AVG(v) FROM s WHERE v BETWEEN 20 AND 200 EVERY 1 EPOCHS",
+      "SELECT MIN(v) FROM s WHERE v BETWEEN 20 AND 200 EVERY 1 EPOCHS",
+      "SELECT COUNT(v) FROM s WHERE v BETWEEN 20 AND 200 EVERY 1 EPOCHS",
+  };
+  for (const auto& q : workload) {
+    ASSERT_TRUE(shared.svc.submit(q).ok());
+    ASSERT_TRUE(naive.svc.submit(q).ok());
+  }
+  for (int e = 0; e < 6; ++e) {
+    const std::vector<SensorUpdate> su{shared.drift(7, 2)};
+    const std::vector<SensorUpdate> nu{naive.drift(7, 2)};
+    const auto sa = shared.svc.run_epoch(su);
+    const auto na = naive.svc.run_epoch(nu);
+    ASSERT_EQ(sa.size(), na.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_DOUBLE_EQ(sa[i].value, na[i].value);  // same exact answers
+    }
+  }
+  const auto shared_bits = shared.net.summary(true).total_bits;
+  const auto naive_bits = naive.net.summary(true).total_bits;
+  EXPECT_LT(shared_bits * 2, naive_bits);
+}
+
+}  // namespace
+}  // namespace sensornet::service

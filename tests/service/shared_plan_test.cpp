@@ -1,0 +1,179 @@
+#include "src/service/shared_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/net/topology.hpp"
+
+namespace sensornet::service {
+namespace {
+
+constexpr Value kBound = 1000;
+constexpr Value kDelta = 4;
+constexpr std::uint32_t kHorizon = 8;
+
+/// What a collection must return: the bundle computed directly from the
+/// installed items, no network involved.
+StatsBundle direct_bundle(const sim::Network& net,
+                          const query::RegionSignature& region) {
+  StatsBundle b;
+  const Value margin = static_cast<Value>(kHorizon) * kDelta;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    for (const Value v : net.items(u)) {
+      if (region.whole_domain) {
+        b.core.observe(v);
+        continue;
+      }
+      if (v >= region.lo && v <= region.hi) b.core.observe(v);
+      if (v >= region.lo + margin && v <= region.hi - margin)
+        b.inner.observe(v);
+      if (v >= region.lo - margin && v <= region.hi + margin)
+        b.outer.observe(v);
+    }
+  }
+  if (region.whole_domain) {
+    b.inner = b.core;
+    b.outer = b.core;
+  }
+  return b;
+}
+
+struct Fixture {
+  sim::Network net;
+  net::SpanningTree tree;
+  SharedPlanScheduler sched;
+
+  explicit Fixture(std::uint64_t seed = 7)
+      : net(net::make_grid(8, 8), seed),
+        tree(net::bfs_tree(net.graph(), 0)),
+        sched(net, tree, kBound, kDelta, kHorizon) {
+    ValueSet vs(64);
+    for (NodeId u = 0; u < 64; ++u) {
+      vs[u] = static_cast<Value>((u * 37) % 200);
+    }
+    net.set_one_item_per_node(vs);
+  }
+};
+
+TEST(SharedPlan, GroupsDeduplicateByRegion) {
+  Fixture f;
+  const query::RegionSignature a{10, 50, false};
+  const query::RegionSignature b{10, 60, false};
+  EXPECT_EQ(f.sched.ensure_stats_group(a), f.sched.ensure_stats_group(a));
+  EXPECT_NE(f.sched.ensure_stats_group(a), f.sched.ensure_stats_group(b));
+  // Distinct groups key on (region, registers): exact and approximate
+  // subscribers cannot share a wave.
+  EXPECT_EQ(f.sched.ensure_distinct_group(a, 64),
+            f.sched.ensure_distinct_group(a, 64));
+  EXPECT_NE(f.sched.ensure_distinct_group(a, 64),
+            f.sched.ensure_distinct_group(a, 0));
+  EXPECT_EQ(f.sched.stats().groups_created, 4u);
+}
+
+TEST(SharedPlan, CollectionMatchesDirectComputation) {
+  Fixture f;
+  for (const query::RegionSignature region :
+       {query::RegionSignature{0, kBound, true},
+        query::RegionSignature{30, 120, false}}) {
+    const GroupId g = f.sched.ensure_stats_group(region);
+    EXPECT_EQ(f.sched.collect_stats(g, 0), direct_bundle(f.net, region));
+  }
+}
+
+TEST(SharedPlan, CollectIsIdempotentWithinEpoch) {
+  Fixture f;
+  const GroupId g =
+      f.sched.ensure_stats_group(query::RegionSignature{0, kBound, true});
+  f.sched.collect_stats(g, 0);
+  const auto msgs = f.net.summary().total_messages;
+  f.sched.collect_stats(g, 0);
+  EXPECT_EQ(f.net.summary().total_messages, msgs);
+  EXPECT_EQ(f.sched.stats().stats_waves, 1u);
+}
+
+TEST(SharedPlan, QuiescentRecollectionIsFree) {
+  Fixture f;
+  const GroupId g =
+      f.sched.ensure_stats_group(query::RegionSignature{0, kBound, true});
+  const StatsBundle first = f.sched.collect_stats(g, 0);
+  // Nothing changed: the next epoch's collection is answered entirely from
+  // the parent-side partials — zero messages on the air.
+  const auto msgs = f.net.summary().total_messages;
+  const StatsBundle second = f.sched.collect_stats(g, 1);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(f.net.summary().total_messages, msgs);
+}
+
+TEST(SharedPlan, IncrementalCollectionDescendsOnlyDirtySubtrees) {
+  Fixture f;
+  const query::RegionSignature whole{0, kBound, true};
+  const GroupId g = f.sched.ensure_stats_group(whole);
+  f.sched.collect_stats(g, 0);
+  const auto full_descents = f.sched.stats().edges_descended;
+  EXPECT_EQ(full_descents, 63u);  // first collection visits every edge
+
+  // One sensor changes; only its root path (plus those nodes' request
+  // edges) should be revisited.
+  const NodeId changed = 63;
+  f.net.update_item(changed, 0, f.net.items(changed)[0] + kDelta);
+  const std::vector<NodeId> touched{changed};
+  f.sched.note_updates(touched, 1);
+  const StatsBundle b = f.sched.collect_stats(g, 1);
+  EXPECT_EQ(b, direct_bundle(f.net, whole));
+  // Exactly the changed node's root path is re-requested: one edge per
+  // level, every other subtree served from the parent-side partials.
+  const auto incremental = f.sched.stats().edges_descended - full_descents;
+  EXPECT_EQ(incremental, f.tree.depth[changed]);
+  EXPECT_GT(f.sched.stats().edges_skipped, 0u);
+}
+
+TEST(SharedPlan, MarksCoalescePerNodePerEpoch) {
+  Fixture f;
+  // Two sibling leaves under the same deep ancestor: their marks share the
+  // common path, so total mark messages < sum of both depths.
+  const std::vector<NodeId> touched{62, 63};
+  f.sched.note_updates(touched, 1);
+  const std::uint64_t depth_sum = f.tree.depth[62] + f.tree.depth[63];
+  EXPECT_LT(f.sched.stats().mark_messages, depth_sum);
+  EXPECT_GE(f.sched.stats().mark_messages, f.tree.depth[63]);
+}
+
+TEST(SharedPlan, RangedGroupPaysInstallBroadcastOnce) {
+  Fixture f;
+  const auto before = f.net.summary().total_messages;
+  f.sched.ensure_stats_group(query::RegionSignature{30, 120, false});
+  const auto after_first = f.net.summary().total_messages;
+  EXPECT_EQ(after_first - before, 63u);  // one region install per node
+  f.sched.ensure_stats_group(query::RegionSignature{30, 120, false});
+  EXPECT_EQ(f.net.summary().total_messages, after_first);
+}
+
+TEST(SharedPlan, DistinctCollectionsAnswerOverTheRegion) {
+  Fixture f;
+  const query::RegionSignature region{0, 99, false};
+  const GroupId g = f.sched.ensure_distinct_group(region, /*registers=*/0);
+  std::uint64_t expected = 0;
+  {
+    std::vector<Value> seen;
+    for (NodeId u = 0; u < f.net.node_count(); ++u) {
+      for (const Value v : f.net.items(u)) {
+        if (v >= region.lo && v <= region.hi &&
+            std::find(seen.begin(), seen.end(), v) == seen.end()) {
+          seen.push_back(v);
+        }
+      }
+    }
+    expected = seen.size();
+  }
+  EXPECT_DOUBLE_EQ(f.sched.collect_distinct(g, 0),
+                   static_cast<double>(expected));
+  // Idempotent within the epoch.
+  const auto msgs = f.net.summary().total_messages;
+  f.sched.collect_distinct(g, 0);
+  EXPECT_EQ(f.net.summary().total_messages, msgs);
+  EXPECT_EQ(f.sched.stats().distinct_waves, 1u);
+}
+
+}  // namespace
+}  // namespace sensornet::service

@@ -1,11 +1,10 @@
-#include "src/sketch/loglog.hpp"
+#include "src/sketch/hll.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "src/common/rng.hpp"
-#include "src/sketch/hll.hpp"
 
 namespace sensornet::sketch {
 namespace {
@@ -142,42 +141,6 @@ TEST(LogLog, EstimateWithinThreeSigmaTypically) {
   }
   EXPECT_LE(violations, 3);  // ~0.3% expected; allow a few for small samples
 }
-
-// The deprecated free-function shims must forward faithfully: identical
-// observations via the old and new spellings produce identical state and
-// identical estimates.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(LogLog, DeprecatedShimsForwardToHll) {
-  const unsigned m = 64;
-  RegisterArray legacy(m, 6);
-  Hll modern = make_hll(m);
-  for (std::uint64_t v = 0; v < 2000; ++v) {
-    observe_hashed(legacy, v, 9);
-    modern.add(v, 9);
-  }
-  for (unsigned b = 0; b < m; ++b) {
-    EXPECT_EQ(static_cast<unsigned>(legacy.value(b)), modern.value(b)) << b;
-  }
-  EXPECT_DOUBLE_EQ(loglog_estimate(legacy), modern.estimate_loglog());
-  EXPECT_DOUBLE_EQ(hyperloglog_estimate(legacy), modern.estimate());
-}
-
-TEST(LogLog, DeprecatedRandomShimMatchesRngSequence) {
-  Xoshiro256 rng_a(42);
-  Xoshiro256 rng_b(42);
-  const unsigned m = 32;
-  RegisterArray legacy(m, 6);
-  Hll modern = make_hll(m);
-  for (int i = 0; i < 500; ++i) {
-    observe_random(legacy, rng_a);
-    modern.add_random(rng_b);
-  }
-  for (unsigned b = 0; b < m; ++b) {
-    EXPECT_EQ(static_cast<unsigned>(legacy.value(b)), modern.value(b)) << b;
-  }
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace sensornet::sketch

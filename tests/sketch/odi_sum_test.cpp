@@ -8,7 +8,6 @@
 #include "src/proto/aggregations.hpp"
 #include "src/proto/tree_wave.hpp"
 #include "src/sketch/hll.hpp"
-#include "src/sketch/loglog.hpp"
 
 namespace sensornet::sketch {
 namespace {
@@ -126,26 +125,6 @@ TEST(OdiSum, RegisterStateStaysMergeIdempotent) {
   ASSERT_TRUE(merged.merge(a).ok());
   EXPECT_EQ(merged, a);
 }
-
-// The deprecated observe_sum shim and Hll::add_sum share the multinomial
-// split, so seeded identically they must land the exact same observations.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(OdiSum, DeprecatedShimMatchesAddSum) {
-  Xoshiro256 rng_a(29);
-  Xoshiro256 rng_b(29);
-  const unsigned m = 64;
-  RegisterArray legacy(m, 6);
-  Hll modern = make_hll(m);
-  for (const std::uint64_t v : {0ULL, 1ULL, 77ULL, 5000ULL, 123456ULL}) {
-    observe_sum(legacy, v, rng_a);
-    modern.add_sum(v, rng_b);
-  }
-  for (unsigned b = 0; b < m; ++b) {
-    EXPECT_EQ(static_cast<unsigned>(legacy.value(b)), modern.value(b)) << b;
-  }
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace sensornet::sketch
