@@ -28,10 +28,19 @@
 //     churn and epoch advancement, wall-clocked to a queries-per-second
 //     figure.
 //
+// The report also carries a `telemetry` section: the shared run's
+// per-query / per-group cost ledger (QueryService::telemetry_snapshot()),
+// the result cache's probe/hit/miss/expired counters, and the mark-wave
+// bucket. On the full lane the driver asserts the committed cache
+// behavior exactly: 88 answers served from cache, and the cache's own
+// hit counter agreeing with the service's answer accounting.
+//
 // Usage: exp_query_service [--quick] [--out PATH] [--threads N]
+//                          [--trace PATH]
 //   --quick    smaller deployment / fewer epochs (CI smoke lane)
 //   --out      output JSON path (default: BENCH_PR8.json)
 //   --threads  submit_batch farm workers; 0 = hardware concurrency
+//   --trace    export a Chrome trace of a small shared run to PATH
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -48,6 +57,7 @@
 #include "src/common/types.hpp"
 #include "src/net/spanning_tree.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/trace.hpp"
 #include "src/service/engine.hpp"
 #include "src/sim/network.hpp"
 
@@ -189,6 +199,7 @@ struct LaneResult {
   std::uint64_t cache_answers_checked = 0;
   std::uint64_t bound_violations = 0;
   std::uint64_t checksum = 0;
+  service::TelemetrySnapshot telemetry;  // full cost-attribution ledger
 };
 
 /// Runs the overlapping continuous-query scenario once. Deterministic for a
@@ -265,6 +276,7 @@ LaneResult run_continuous_lane(const Scale& s, unsigned threads, bool shared) {
   lane.edges_descended = svc.plan_stats().edges_descended;
   lane.edges_skipped = svc.plan_stats().edges_skipped;
   lane.mark_messages = svc.plan_stats().mark_messages;
+  lane.telemetry = svc.telemetry_snapshot();
   sum.mix_u64(lane.total_bits);
   lane.checksum = sum.h;
   return lane;
@@ -403,6 +415,57 @@ void write_json(std::ostream& os, const Scale& s, bool quick, unsigned threads,
      << "    \"cache_answers_checked\": " << shared.cache_answers_checked
      << ",\n"
      << "    \"bound_violations\": " << shared.bound_violations << "\n"
+     << "  },\n";
+  // Cost-attribution ledger for the shared run. Query bits follow the
+  // marginal-cost rule (first due subscriber pays the shared wave), so
+  // sum(query bits) + mark bits accounts for everything except the
+  // one-time group-install broadcasts, which sit in the group ledger.
+  const service::TelemetrySnapshot& t = shared.telemetry;
+  std::uint64_t attributed_bits = t.mark_bits_on_air;
+  for (const auto& [qid, qc] : t.queries) attributed_bits += qc.bits_on_air;
+  os << "  \"telemetry\": {\n"
+     << "    \"cache\": {\n"
+     << "      \"probes\": " << t.cache.probes << ",\n"
+     << "      \"lookups\": " << t.cache.lookups << ",\n"
+     << "      \"hits\": " << t.cache.hits << ",\n"
+     << "      \"exact_hits\": " << t.cache.exact_hits << ",\n"
+     << "      \"zero_bit_answers\": " << t.cache.hits << ",\n"
+     << "      \"misses\": " << t.cache.misses << ",\n"
+     << "      \"expired\": " << t.cache.expired << ",\n"
+     << "      \"absent\": " << t.cache.absent << "\n"
+     << "    },\n"
+     << "    \"mark_bits_on_air\": " << t.mark_bits_on_air << ",\n"
+     << "    \"mark_messages\": " << t.mark_messages << ",\n"
+     << "    \"queries\": [\n";
+  for (auto it = t.queries.begin(); it != t.queries.end(); ++it) {
+    const auto& qc = it->second;
+    os << "      {\"id\": " << it->first << ", \"answers\": " << qc.answers
+       << ", \"cache_hits\": " << qc.cache_hits << ", \"fresh\": " << qc.fresh
+       << ", \"bits_on_air\": " << qc.bits_on_air << ", \"messages\": "
+       << qc.messages << ", \"bound_slack\": " << std::setprecision(4)
+       << std::fixed << qc.bound_slack << "}"
+       << (std::next(it) != t.queries.end() ? "," : "") << "\n";
+  }
+  os << "    ],\n"
+     << "    \"groups\": [\n";
+  for (auto it = t.groups.begin(); it != t.groups.end(); ++it) {
+    const auto& gc = it->second;
+    os << "      {\"id\": " << it->first << ", \"subscribers\": "
+       << gc.subscribers << ", \"collections\": " << gc.collections
+       << ", \"bits_on_air\": " << gc.bits_on_air << ", \"messages\": "
+       << gc.messages << "}" << (std::next(it) != t.groups.end() ? "," : "")
+       << "\n";
+  }
+  os << "    ],\n"
+     << "    \"attributed_bits\": " << attributed_bits << ",\n"
+     << "    \"total_bits\": " << shared.total_bits << ",\n"
+     << "    \"attribution_ratio\": " << std::setprecision(4) << std::fixed
+     << (shared.total_bits > 0
+             ? static_cast<double>(attributed_bits) / shared.total_bits
+             : 0.0)
+     << ",\n"
+     << "    \"cache_hits_match_answers\": "
+     << (t.cache.hits == shared.cache_hits ? "true" : "false") << "\n"
      << "  },\n"
      << "  \"determinism\": [\n";
   for (std::size_t i = 0; i < det.size(); ++i) {
@@ -431,10 +494,32 @@ void write_json(std::ostream& os, const Scale& s, bool quick, unsigned threads,
      << "    \"bound_violations\": " << shared.bound_violations << ",\n"
      << "    \"bounds_sound\": "
      << (shared.bound_violations == 0 ? "true" : "false") << ",\n"
+     << "    \"cache_served\": " << t.cache.hits << ",\n"
+     << "    \"cache_hits_match_answers\": "
+     << (t.cache.hits == shared.cache_hits ? "true" : "false") << ",\n"
      << "    \"deterministic_across_thread_counts\": "
      << (deterministic ? "true" : "false") << ",\n"
      << "    \"qps\": " << std::setprecision(1) << churn.qps() << "\n"
      << "  }\n}\n";
+}
+
+/// Replays a tiny shared run with the global trace ring live and exports
+/// the Chrome trace_event JSON (chrome://tracing / Perfetto). Runs after
+/// the measured lanes so tracing cost never touches a reported number.
+bool export_trace(const std::string& path) {
+  obs::TraceRing& ring = obs::TraceRing::global();
+  ring.set_capacity(std::size_t{1} << 15);
+  ring.set_enabled(true);
+  const Scale tiny{8, 4, 8, 2};
+  run_continuous_lane(tiny, /*threads=*/1, /*shared=*/true);
+  ring.set_enabled(false);
+  std::ofstream os(path);
+  if (!os) return false;
+  ring.export_chrome_json(os);
+  std::cout << "trace: " << ring.size() << " event(s), " << ring.dropped()
+            << " dropped -> " << path << "\n";
+  ring.clear();
+  return true;
 }
 
 }  // namespace
@@ -444,6 +529,7 @@ int main(int argc, char** argv) {
   using namespace sensornet::bench;
   bool quick = false;
   std::string out_path = "BENCH_PR8.json";
+  std::string trace_path;
   unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -451,11 +537,13 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else {
-      std::cerr
-          << "usage: exp_query_service [--quick] [--out PATH] [--threads N]\n";
+      std::cerr << "usage: exp_query_service [--quick] [--out PATH] "
+                   "[--threads N] [--trace PATH]\n";
       return 2;
     }
   }
@@ -509,6 +597,29 @@ int main(int argc, char** argv) {
   }
   write_json(out, s, quick, resolved, shared, naive, det, churn);
   std::cout << "wrote " << out_path << "\n";
+
+  if (!trace_path.empty() && !export_trace(trace_path)) {
+    std::cerr << "cannot open " << trace_path << " for writing\n";
+    return 1;
+  }
+
+  // The cache's global hit counter must agree with the service's
+  // answer-level accounting: a counted hit that was never served (or the
+  // reverse) means the probe/lookup split leaked.
+  if (shared.telemetry.cache.hits != shared.cache_hits) {
+    std::cerr << "FATAL: cache counted " << shared.telemetry.cache.hits
+              << " hit(s) but the service served " << shared.cache_hits
+              << " cached answer(s)\n";
+    return 1;
+  }
+  // The full lane is a committed workload: 16 subscribers, 32 epochs on a
+  // 32x32 grid serve exactly 88 answers from cache. Any drift here is a
+  // semantic change to the cache or scheduler and must be deliberate.
+  if (!quick && shared.telemetry.cache.hits != 88) {
+    std::cerr << "FATAL: full lane served " << shared.telemetry.cache.hits
+              << " answers from cache, expected the committed 88\n";
+    return 1;
+  }
 
   if (shared.total_bits * 2 > naive.total_bits) {
     std::cerr << "FATAL: shared aggregation shipped " << shared.total_bits

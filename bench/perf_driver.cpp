@@ -23,11 +23,23 @@
 //     2^20 nodes: topology + tree build time, simulated deliveries/sec,
 //     peak in-flight queue bytes, and the process RSS high-water mark.
 //
-// Usage: perf_driver [--quick] [--out PATH] [--threads N]
+// A fourth section lands in a second report (BENCH_PR9.json): the
+// telemetry lane. It re-reads the thread-scaling rows through the obs
+// metrics registry (farm.steals / farm.cells must agree with the farm's
+// own stats), measures the registry's runtime overhead on a 2^17-node grid
+// wave (registry enabled vs runtime-disabled, identical deliveries and
+// checksums required, events/s penalty gated at 3%), and dumps the final
+// registry snapshot. With --trace PATH it also runs a small traced wave
+// and exports the Chrome trace_event JSON for chrome://tracing/Perfetto.
+//
+// Usage: perf_driver [--quick] [--out PATH] [--out9 PATH] [--threads N]
+//                    [--trace PATH]
 //   --quick    smaller scenario sizes (CI smoke lane)
 //   --out      output JSON path (default: BENCH_PR7.json)
+//   --out9     telemetry report path (default: BENCH_PR9.json)
 //   --threads  farm workers; 0 = hardware concurrency (default),
 //              1 reproduces the pre-farm serial driver exactly
+//   --trace    export a Chrome trace of a small wave run to PATH
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -42,6 +54,8 @@
 #include "src/common/trial_farm.hpp"
 #include "src/net/spanning_tree.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/network.hpp"
 #include "util/legacy_sim.hpp"
 
@@ -375,16 +389,20 @@ struct Scale {
       scaling_batches;
   // scale ladder: log2 of the node counts to visit
   std::vector<unsigned> scale_exponents;
+  // obs-overhead lane: 2^obs_exp-node grid, wave workload, best of obs_reps
+  unsigned obs_exp, obs_lanes, obs_batches, obs_reps;
 };
 
 // Sized so every timed region runs for tens of milliseconds at seed-era
 // throughput — long enough that steady_clock jitter stays in the noise.
 const Scale kFull{256,  40, 32, 2048, 8,  64, 4, 2048, 6, 150,
                   4096, 400, 64, 25, 2048, 40,
-                  32, 48, 8, 3, {14, 15, 16, 17, 18, 19, 20}};
+                  32, 48, 8, 3, {14, 15, 16, 17, 18, 19, 20},
+                  17, 4, 2, 5};
 const Scale kQuick{96,  25, 32, 512, 4,  32, 2, 512, 3, 40,
                    1024, 80, 32, 8, 512, 10,
-                   8, 24, 4, 2, {14, 15}};
+                   8, 24, 4, 2, {14, 15},
+                   15, 2, 4, 7};
 
 std::vector<ScenarioResult> run_matrix(const Scale& s, TrialFarm& farm) {
   const auto tag = [](const char* base, double loss) {
@@ -501,6 +519,12 @@ struct ScalingRow {
   std::uint64_t deliveries = 0;
   std::uint64_t steals = 0;
   std::uint64_t checksum = 0;  // over per-trial outcomes, order-stable
+  // Telemetry view of the same run: the farm's FarmStats fields and the
+  // deltas the run pushed into the global obs registry must agree.
+  std::uint64_t blocks_dealt = 0;
+  std::uint64_t registry_steals = 0;
+  std::uint64_t registry_cells = 0;
+  bool registry_consistent = true;
 
   double events_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(deliveries) / seconds : 0.0;
@@ -541,7 +565,9 @@ std::vector<ScalingRow> run_thread_scaling(const Scale& s) {
   };
 
   std::vector<ScalingRow> rows;
+  obs::Registry& reg = obs::Registry::global();
   for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    const obs::Snapshot before = reg.snapshot();
     TrialFarm farm(t);
     const auto t0 = std::chrono::steady_clock::now();
     const auto outcomes = farm.map<Outcome>(s.scaling_trials, trial);
@@ -551,6 +577,7 @@ std::vector<ScalingRow> run_thread_scaling(const Scale& s) {
     row.threads = t;
     row.seconds = std::chrono::duration<double>(t1 - t0).count();
     row.steals = farm.last_stats().steals;
+    row.blocks_dealt = farm.last_stats().blocks_dealt;
     row.checksum = 0xcbf29ce484222325ULL;
     for (const Outcome& o : outcomes) {
       row.deliveries += o.deliveries;
@@ -558,12 +585,29 @@ std::vector<ScalingRow> run_thread_scaling(const Scale& s) {
       row.checksum = fnv1a(row.checksum, o.max_node_bits);
       row.checksum = fnv1a(row.checksum, o.peak);
     }
+    // Cross-check the registry against the farm's own accounting: the
+    // farm publishes cumulatively, so read this row's contribution as a
+    // delta. (With SENSORNET_OBS=OFF the registry reads all-zero and the
+    // check is vacuous.)
+    const obs::Snapshot after = reg.snapshot();
+    row.registry_steals =
+        after.value("farm.steals") - before.value("farm.steals");
+    row.registry_cells =
+        after.value("farm.cells") - before.value("farm.cells");
+    row.registry_consistent =
+        !obs::kObsEnabled ||
+        (row.registry_steals == row.steals &&
+         row.registry_cells == s.scaling_trials &&
+         after.value("farm.workers_last") == t &&
+         (t > 1 || row.steals == 0));
     rows.push_back(row);
     std::cout << "threads " << t << ": " << std::fixed << std::setprecision(3)
               << row.seconds << " s, " << std::setprecision(0)
               << row.events_per_sec() << " deliveries/s, checksum "
               << std::hex << row.checksum << std::dec << ", " << row.steals
-              << " steal(s)\n";
+              << " steal(s), " << row.blocks_dealt << " block(s) dealt"
+              << (row.registry_consistent ? "" : "   [REGISTRY MISMATCH]")
+              << "\n";
   }
   return rows;
 }
@@ -630,6 +674,116 @@ std::vector<ScaleRow> run_scale_ladder(const Scale& s) {
     }
   }
   return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry lane (BENCH_PR9.json): registry overhead + trace export.
+// ---------------------------------------------------------------------------
+struct OverheadRun {
+  std::uint64_t deliveries = 0;
+  std::uint64_t checksum = 0;
+  double seconds = 0.0;  // best of obs_reps repetitions
+
+  double events_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(deliveries) / seconds : 0.0;
+  }
+};
+
+struct OverheadResult {
+  std::size_t nodes = 0;
+  unsigned lanes = 0, batches = 0, reps = 0;
+  OverheadRun enabled;   // registry live (the shipping default)
+  OverheadRun disabled;  // Registry::global().set_enabled(false)
+
+  bool deliveries_match() const {
+    return enabled.deliveries == disabled.deliveries;
+  }
+  bool checksums_match() const {
+    return enabled.checksum == disabled.checksum;
+  }
+  /// Events/s lost to the live registry, in percent (negative = noise).
+  double overhead_pct() const {
+    const double off = disabled.events_per_sec();
+    return off > 0.0 ? (off - enabled.events_per_sec()) / off * 100.0 : 0.0;
+  }
+};
+
+/// One wave workload on a 2^obs_exp-node grid, run with the registry
+/// enabled and runtime-disabled. The two modes must produce identical
+/// deliveries and checksums (metrics have zero semantic footprint), and
+/// the enabled mode may cost at most 3% events/s — both gated in main().
+/// Repetitions alternate modes and keep the best time per mode, so a
+/// one-off scheduler hiccup cannot fake (or mask) an overhead.
+OverheadResult run_obs_overhead(const Scale& s) {
+  OverheadResult res;
+  res.lanes = s.obs_lanes;
+  res.batches = s.obs_batches;
+  res.reps = s.obs_reps;
+  const net::Graph grid =
+      net::make_grid(std::size_t{1} << ((s.obs_exp + 1) / 2),
+                     std::size_t{1} << (s.obs_exp / 2));
+  res.nodes = grid.node_count();
+  const net::SpanningTree tree = net::bfs_tree(grid, 0);
+
+  const auto one_run = [&](bool registry_on) {
+    obs::Registry::global().set_enabled(registry_on);
+    sim::Network net(grid, trial_seed(0x0b5, s.obs_exp));
+    OverheadRun r;
+    const auto t0 = std::chrono::steady_clock::now();
+    r.deliveries = tree_waves(net, tree, s.obs_lanes, s.obs_batches);
+    const auto t1 = std::chrono::steady_clock::now();
+    obs::Registry::global().set_enabled(true);
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.checksum = fnv1a(0xcbf29ce484222325ULL, r.deliveries);
+    r.checksum = fnv1a(r.checksum, net.summary().max_node_bits);
+    r.checksum = fnv1a(r.checksum, net.peak_in_flight_bytes());
+    return r;
+  };
+
+  for (unsigned rep = 0; rep < s.obs_reps; ++rep) {
+    const OverheadRun off = one_run(false);
+    const OverheadRun on = one_run(true);
+    if (rep == 0 || off.seconds < res.disabled.seconds) res.disabled = off;
+    if (rep == 0 || on.seconds < res.enabled.seconds) res.enabled = on;
+  }
+  std::cout << "obs overhead (" << res.nodes << " nodes): registry on "
+            << std::fixed << std::setprecision(0)
+            << res.enabled.events_per_sec() << "/s, off "
+            << res.disabled.events_per_sec() << "/s  ->  "
+            << std::setprecision(2) << res.overhead_pct() << "% overhead"
+            << (res.checksums_match() ? "" : "   [CHECKSUM MISMATCH]")
+            << "\n";
+  return res;
+}
+
+struct TraceInfo {
+  std::string path;
+  bool exported = false;
+  std::size_t events = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Runs a small wave with the global trace ring live and exports the
+/// Chrome trace_event JSON — open in chrome://tracing or Perfetto.
+TraceInfo export_trace(const std::string& path) {
+  TraceInfo info;
+  info.path = path;
+  obs::TraceRing& ring = obs::TraceRing::global();
+  ring.set_capacity(std::size_t{1} << 14);
+  ring.set_enabled(true);
+  sim::Network net(net::make_grid(8, 8), /*master_seed=*/42);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  tree_waves(net, tree, /*lanes=*/2, /*batches=*/1);
+  ring.set_enabled(false);
+  info.events = ring.size();
+  info.dropped = ring.dropped();
+  std::ofstream os(path);
+  if (os) {
+    ring.export_chrome_json(os);
+    info.exported = true;
+  }
+  ring.clear();
+  return info;
 }
 
 // ---------------------------------------------------------------------------
@@ -760,6 +914,92 @@ void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
      << "\n  }\n}\n";
 }
 
+void write_overhead_run(std::ostream& os, const char* key,
+                        const OverheadRun& r, const char* trailing) {
+  os << "    \"" << key << "\": {\n"
+     << "      \"deliveries\": " << r.deliveries << ",\n"
+     << "      \"seconds\": " << std::setprecision(6) << std::fixed
+     << r.seconds << ",\n"
+     << "      \"events_per_sec\": " << std::setprecision(1)
+     << r.events_per_sec() << ",\n"
+     << "      \"checksum\": \"" << std::hex << r.checksum << std::dec
+     << "\"\n    }" << trailing << "\n";
+}
+
+void write_pr9_json(std::ostream& os, const std::vector<ScalingRow>& scaling,
+                    const OverheadResult& overhead, const TraceInfo* trace,
+                    bool quick, unsigned threads) {
+  bool registry_consistent = true;
+  for (const auto& row : scaling) {
+    registry_consistent = registry_consistent && row.registry_consistent;
+  }
+  const bool target_met = overhead.overhead_pct() <= 3.0;
+
+  os << "{\n"
+     << "  \"bench\": \"BENCH_PR9\",\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"obs_compiled_in\": " << (obs::kObsEnabled ? "true" : "false")
+     << ",\n"
+     << "  \"farm_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& row = scaling[i];
+    os << "    {\n"
+       << "      \"threads\": " << row.threads << ",\n"
+       << "      \"steals\": " << row.steals << ",\n"
+       << "      \"blocks_dealt\": " << row.blocks_dealt << ",\n"
+       << "      \"registry_steals\": " << row.registry_steals << ",\n"
+       << "      \"registry_cells\": " << row.registry_cells << ",\n"
+       << "      \"registry_consistent\": "
+       << (row.registry_consistent ? "true" : "false") << "\n    }"
+       << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"obs_overhead\": {\n"
+     << "    \"topology\": \"grid\",\n"
+     << "    \"nodes\": " << overhead.nodes << ",\n"
+     << "    \"lanes\": " << overhead.lanes << ",\n"
+     << "    \"batches\": " << overhead.batches << ",\n"
+     << "    \"reps\": " << overhead.reps << ",\n";
+  write_overhead_run(os, "registry_enabled", overhead.enabled, ",");
+  write_overhead_run(os, "registry_disabled", overhead.disabled, ",");
+  os << "    \"deliveries_match\": "
+     << (overhead.deliveries_match() ? "true" : "false") << ",\n"
+     << "    \"checksums_match\": "
+     << (overhead.checksums_match() ? "true" : "false") << ",\n"
+     << "    \"overhead_pct\": " << std::setprecision(3) << std::fixed
+     << overhead.overhead_pct() << ",\n"
+     << "    \"overhead_target_pct\": 3.0,\n"
+     << "    \"overhead_target_met\": " << (target_met ? "true" : "false")
+     << "\n  },\n"
+     << "  \"registry\": ";
+  obs::Registry::global().snapshot().write_json(os, 2);
+  os << ",\n"
+     << "  \"trace\": ";
+  if (trace == nullptr) {
+    os << "null";
+  } else {
+    os << "{\n"
+       << "    \"path\": \"" << trace->path << "\",\n"
+       << "    \"exported\": " << (trace->exported ? "true" : "false")
+       << ",\n"
+       << "    \"events\": " << trace->events << ",\n"
+       << "    \"dropped\": " << trace->dropped << "\n  }";
+  }
+  os << ",\n"
+     << "  \"summary\": {\n"
+     << "    \"registry_consistent\": "
+     << (registry_consistent ? "true" : "false") << ",\n"
+     << "    \"overhead_pct\": " << overhead.overhead_pct() << ",\n"
+     << "    \"overhead_target_met\": " << (target_met ? "true" : "false")
+     << ",\n"
+     << "    \"on_off_semantics_identical\": "
+     << (overhead.deliveries_match() && overhead.checksums_match() ? "true"
+                                                                   : "false")
+     << "\n  }\n}\n";
+}
+
 }  // namespace
 }  // namespace sensornet::bench
 
@@ -767,6 +1007,8 @@ int main(int argc, char** argv) {
   using namespace sensornet::bench;
   bool quick = false;
   std::string out_path = "BENCH_PR7.json";
+  std::string out9_path = "BENCH_PR9.json";
+  std::string trace_path;
   unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -774,10 +1016,15 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--out9" && i + 1 < argc) {
+      out9_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else {
-      std::cerr << "usage: perf_driver [--quick] [--out PATH] [--threads N]\n";
+      std::cerr << "usage: perf_driver [--quick] [--out PATH] [--out9 PATH] "
+                   "[--threads N] [--trace PATH]\n";
       return 2;
     }
   }
@@ -793,6 +1040,15 @@ int main(int argc, char** argv) {
   const auto scaling = run_thread_scaling(s);
   std::cout << "\n## scale ladder\n";
   const auto scale_rows = run_scale_ladder(s);
+  std::cout << "\n## telemetry\n";
+  const auto overhead = run_obs_overhead(s);
+  TraceInfo trace;
+  if (!trace_path.empty()) {
+    trace = export_trace(trace_path);
+    std::cout << "trace: " << trace.events << " event(s), " << trace.dropped
+              << " dropped -> " << trace.path
+              << (trace.exported ? "" : "   [WRITE FAILED]") << "\n";
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -801,6 +1057,16 @@ int main(int argc, char** argv) {
   }
   write_json(out, results, scaling, scale_rows, quick, farm.threads());
   std::cout << "\nwrote " << out_path << "\n";
+
+  std::ofstream out9(out9_path);
+  if (!out9) {
+    std::cerr << "cannot open " << out9_path << " for writing\n";
+    return 1;
+  }
+  write_pr9_json(out9, scaling, overhead,
+                 trace_path.empty() ? nullptr : &trace, quick,
+                 farm.threads());
+  std::cout << "wrote " << out9_path << "\n";
 
   for (const auto& r : results) {
     if (!r.deliveries_match) {
@@ -816,6 +1082,20 @@ int main(int argc, char** argv) {
                 << "trial outcomes\n";
       return 1;
     }
+    if (!row.registry_consistent) {
+      std::cerr << "FATAL: obs registry disagrees with the farm's own "
+                << "accounting at " << row.threads << " workers\n";
+      return 1;
+    }
+  }
+  if (!overhead.deliveries_match() || !overhead.checksums_match()) {
+    std::cerr << "FATAL: enabling the metrics registry changed simulation "
+              << "semantics (deliveries or checksum drifted)\n";
+    return 1;
+  }
+  if (!trace_path.empty() && !trace.exported) {
+    std::cerr << "cannot open " << trace_path << " for writing\n";
+    return 1;
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "src/common/workload.hpp"
 #include "src/net/spanning_tree.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/network.hpp"
 
 namespace sensornet::bench {
@@ -46,7 +47,13 @@ class DeploymentArena {
   /// The cached deployment, reset to its freshly built state.
   Deployment& lease() {
     ++leases_;
-    if (leases_ > 1) deployment_.net->reset(seed_ ^ 0x9e37);
+    if (leases_ > 1) {
+      deployment_.net->reset(seed_ ^ 0x9e37);
+      // Every bench gets its rebuilds-absorbed number in the shared
+      // registry for free — one gauge_add per re-lease, across all arenas.
+      obs::Registry& reg = obs::Registry::global();
+      reg.gauge_add(reg.gauge("bench.arena.rebuilds_absorbed"), 1);
+    }
     return deployment_;
   }
 

@@ -8,8 +8,25 @@
 
 #include "src/common/error.hpp"
 #include "src/common/hash.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace sensornet {
+
+namespace {
+
+/// Cumulative farm telemetry, published after every for_each run (cold
+/// path: one registration lookup + a handful of adds per matrix).
+void publish_farm_stats(const FarmStats& stats) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.add(reg.counter("farm.runs"), 1);
+  reg.add(reg.counter("farm.cells"), stats.cells);
+  reg.add(reg.counter("farm.steals"), stats.steals);
+  reg.add(reg.counter("farm.blocks_dealt"), stats.blocks_dealt);
+  reg.gauge_set(reg.gauge("farm.workers_last"), stats.threads);
+}
+
+}  // namespace
 
 std::uint64_t trial_seed(std::uint64_t master_seed, std::uint64_t cell) {
   // Two dependent splitmix64 finalizations: the first decorrelates master
@@ -69,9 +86,12 @@ void TrialFarm::for_each(std::size_t cells,
       std::min<std::size_t>(threads_, cells));
   last_stats_.threads = workers;
   if (workers == 1) {
+    last_stats_.blocks_dealt = 1;
     for (std::size_t cell = 0; cell < cells; ++cell) body(cell);
+    publish_farm_stats(last_stats_);
     return;
   }
+  last_stats_.blocks_dealt = workers;
 
   // Deal contiguous blocks: worker w owns [w*cells/workers, (w+1)*cells/..).
   // Owners drain front-to-back, so cache-adjacent cells stay adjacent; the
@@ -91,10 +111,12 @@ void TrialFarm::for_each(std::size_t cells,
   std::mutex error_mu;
 
   const auto worker_loop = [&](unsigned self) {
+    obs::TraceRing& ring = obs::TraceRing::global();
     std::size_t cell = 0;
     for (;;) {
       if (failed.load(std::memory_order_relaxed)) return;
       bool got = deques[self].pop_front(cell);
+      bool stolen = false;
       if (!got) {
         // Round-robin victim scan starting after self; one full silent lap
         // means every deque is empty and the matrix is drained.
@@ -102,10 +124,22 @@ void TrialFarm::for_each(std::size_t cells,
           got = deques[(self + hop) % workers].steal_back(cell);
         }
         if (!got) return;
+        stolen = true;
         steals.fetch_add(1, std::memory_order_relaxed);
       }
+      if (ring.enabled() && stolen) {
+        ring.instant("farm.steal", "farm", obs::wall_ts_us(), self + 1,
+                     "cell", cell);
+      }
       try {
-        body(cell);
+        if (ring.enabled()) {
+          const std::uint64_t t0 = obs::wall_ts_us();
+          body(cell);
+          ring.complete("farm.cell", "farm", t0, obs::wall_ts_us() - t0,
+                        self + 1, "cell", cell);
+        } else {
+          body(cell);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -121,6 +155,7 @@ void TrialFarm::for_each(std::size_t cells,
   for (auto& t : pool) t.join();
 
   last_stats_.steals = steals.load(std::memory_order_relaxed);
+  publish_farm_stats(last_stats_);
   if (first_error) std::rethrow_exception(first_error);
 }
 

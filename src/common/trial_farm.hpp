@@ -36,11 +36,16 @@ std::uint64_t trial_seed(std::uint64_t master_seed, std::uint64_t cell);
 /// least 1). Values above the cell count are clamped by the farm itself.
 unsigned resolve_thread_count(unsigned requested);
 
-/// Telemetry from the most recent for_each() run.
+/// Telemetry from the most recent for_each() run. The same numbers are
+/// published cumulatively through the obs metrics registry (counters
+/// `farm.runs` / `farm.cells` / `farm.steals` / `farm.blocks_dealt`, gauge
+/// `farm.workers_last`), so benches and services that never see the farm
+/// object still get its scheduling story in their telemetry snapshots.
 struct FarmStats {
   unsigned threads = 0;      // workers actually spawned (1 = inline, no pool)
   std::uint64_t cells = 0;   // cells executed
   std::uint64_t steals = 0;  // cells a worker took from another's deque
+  std::uint64_t blocks_dealt = 0;  // contiguous blocks dealt (== workers)
 };
 
 class TrialFarm {

@@ -1,0 +1,302 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sensornet::obs {
+
+std::uint64_t HistogramSnapshot::total() const {
+  std::uint64_t t = 0;
+  for (const std::uint64_t c : counts) t += c;
+  return t;
+}
+
+const MetricSnapshot* Snapshot::find(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::value(std::string_view name) const {
+  const MetricSnapshot* m = find(name);
+  if (m == nullptr) return 0;
+  return m->kind == MetricKind::kHistogram ? m->hist.total() : m->value;
+}
+
+namespace {
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Snapshot::to_string() const {
+  std::ostringstream os;
+  for (const MetricSnapshot& m : metrics) {
+    os << m.name << ' ' << kind_name(m.kind) << ' ';
+    if (m.kind == MetricKind::kHistogram) {
+      os << m.hist.total() << " [";
+      for (std::size_t i = 0; i < m.hist.counts.size(); ++i) {
+        if (i > 0) os << ' ';
+        if (i < m.hist.upper_bounds.size()) {
+          os << "le" << m.hist.upper_bounds[i] << ':';
+        } else {
+          os << "inf:";
+        }
+        os << m.hist.counts[i];
+      }
+      os << ']';
+    } else {
+      os << m.value;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Snapshot::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "{\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& m = metrics[i];
+    os << pad << "  \"" << m.name << "\": ";
+    if (m.kind == MetricKind::kHistogram) {
+      os << "{\"total\": " << m.hist.total() << ", \"buckets\": [";
+      for (std::size_t b = 0; b < m.hist.counts.size(); ++b) {
+        if (b > 0) os << ", ";
+        os << m.hist.counts[b];
+      }
+      os << "]}";
+    } else {
+      os << m.value;
+    }
+    os << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  os << pad << "}";
+}
+
+}  // namespace sensornet::obs
+
+#if SENSORNET_OBS_ENABLED
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace sensornet::obs {
+
+namespace {
+
+// Shard geometry. kShards bounds cross-thread contention (two threads only
+// collide when their id hashes do); kCellsPerShard bounds how many metric
+// cells the process can register. Both are deliberately fixed: cell arrays
+// never reallocate, so the hot ops can index them without synchronization.
+constexpr std::size_t kShards = 16;
+constexpr std::size_t kCellsPerShard = 1024;
+constexpr std::size_t kMaxGauges = 256;
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> cells[kCellsPerShard];
+};
+
+std::size_t this_thread_shard() {
+  // Hashed once per thread; threads map stably to shards for their life.
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shard;
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  struct Meta {
+    std::string name;
+    MetricKind kind;
+    std::uint32_t cell;        // first shard cell / gauge slot
+    std::uint32_t cell_count;  // 1, or bounds+1 for histograms
+    std::vector<std::uint64_t> bounds;  // histogram only; address-stable
+  };
+
+  mutable std::mutex mu;              // registration + snapshot only
+  std::deque<Meta> metas;             // deque: Meta::bounds stays put
+  std::map<std::string, Meta*, std::less<>> by_name;
+  std::uint32_t next_cell = 0;
+  std::uint32_t next_gauge = 0;
+  std::vector<Shard> shards{kShards};
+  std::atomic<std::uint64_t> gauges[kMaxGauges] = {};
+  std::atomic<bool> enabled{true};
+
+  MetricId do_register(std::string_view name, MetricKind kind,
+                       std::span<const std::uint64_t> bounds) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (const auto it = by_name.find(name); it != by_name.end()) {
+      Meta& m = *it->second;
+      if (m.kind != kind ||
+          (kind == MetricKind::kHistogram &&
+           !std::equal(bounds.begin(), bounds.end(), m.bounds.begin(),
+                       m.bounds.end()))) {
+        throw std::logic_error("obs::Registry: metric '" + m.name +
+                               "' re-registered with a different shape");
+      }
+      return MetricId{m.cell, m.kind,
+                      kind == MetricKind::kHistogram ? &m.bounds : nullptr};
+    }
+    Meta meta;
+    meta.name = std::string(name);
+    meta.kind = kind;
+    if (kind == MetricKind::kGauge) {
+      if (next_gauge >= kMaxGauges) {
+        throw std::length_error("obs::Registry: gauge capacity exhausted");
+      }
+      meta.cell = next_gauge++;
+      meta.cell_count = 1;
+    } else {
+      if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+          std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+        throw std::invalid_argument(
+            "obs::Registry: histogram bounds must be strictly ascending");
+      }
+      const auto cells = static_cast<std::uint32_t>(bounds.size() + 1);
+      if (next_cell + cells > kCellsPerShard) {
+        throw std::length_error("obs::Registry: cell capacity exhausted");
+      }
+      meta.cell = next_cell;
+      meta.cell_count = kind == MetricKind::kHistogram ? cells : 1;
+      meta.bounds.assign(bounds.begin(), bounds.end());
+      next_cell += meta.cell_count;
+    }
+    metas.push_back(std::move(meta));
+    Meta& stored = metas.back();
+    by_name.emplace(stored.name, &stored);
+    return MetricId{stored.cell, stored.kind,
+                    kind == MetricKind::kHistogram ? &stored.bounds : nullptr};
+  }
+
+  std::uint64_t sum_cell(std::uint32_t cell) const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards) {
+      total += s.cells[cell].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked intentionally: instrumentation in static destructors (and in
+  // threads outliving main) must never touch a destroyed registry.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+MetricId Registry::counter(std::string_view name) {
+  return impl_->do_register(name, MetricKind::kCounter, {});
+}
+
+MetricId Registry::gauge(std::string_view name) {
+  return impl_->do_register(name, MetricKind::kGauge, {});
+}
+
+MetricId Registry::histogram(std::string_view name,
+                             std::span<const std::uint64_t> upper_bounds) {
+  return impl_->do_register(name, MetricKind::kHistogram, upper_bounds);
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) {
+  if (!impl_->enabled.load(std::memory_order_relaxed)) return;
+  impl_->shards[this_thread_shard()].cells[id.cell].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void Registry::gauge_set(MetricId id, std::uint64_t value) {
+  if (!impl_->enabled.load(std::memory_order_relaxed)) return;
+  impl_->gauges[id.cell].store(value, std::memory_order_relaxed);
+}
+
+void Registry::gauge_add(MetricId id, std::uint64_t delta) {
+  if (!impl_->enabled.load(std::memory_order_relaxed)) return;
+  impl_->gauges[id.cell].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::gauge_max(MetricId id, std::uint64_t value) {
+  if (!impl_->enabled.load(std::memory_order_relaxed)) return;
+  std::atomic<std::uint64_t>& g = impl_->gauges[id.cell];
+  std::uint64_t cur = g.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !g.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Registry::observe(MetricId id, std::uint64_t value) {
+  if (!impl_->enabled.load(std::memory_order_relaxed)) return;
+  const std::vector<std::uint64_t>& bounds = *id.bounds;
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  const auto bucket = static_cast<std::uint32_t>(it - bounds.begin());
+  impl_->shards[this_thread_shard()].cells[id.cell + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Registry::set_enabled(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Registry::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Snapshot out;
+  out.metrics.reserve(impl_->by_name.size());
+  for (const auto& [name, meta] : impl_->by_name) {  // map order == name order
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = meta->kind;
+    switch (meta->kind) {
+      case MetricKind::kCounter:
+        m.value = impl_->sum_cell(meta->cell);
+        break;
+      case MetricKind::kGauge:
+        m.value = impl_->gauges[meta->cell].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram:
+        m.hist.upper_bounds = meta->bounds;
+        m.hist.counts.reserve(meta->cell_count);
+        for (std::uint32_t c = 0; c < meta->cell_count; ++c) {
+          m.hist.counts.push_back(impl_->sum_cell(meta->cell + c));
+        }
+        break;
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (Shard& s : impl_->shards) {
+    for (std::size_t c = 0; c < kCellsPerShard; ++c) {
+      s.cells[c].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t g = 0; g < kMaxGauges; ++g) {
+    impl_->gauges[g].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sensornet::obs
+
+#endif  // SENSORNET_OBS_ENABLED

@@ -5,12 +5,27 @@
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/obs/trace.hpp"
 #include "src/query/lexer.hpp"
 #include "src/query/parser.hpp"
+#include "src/sim/network.hpp"
 
 namespace sensornet::service {
 
 namespace {
+
+/// Bits/messages spent on the network since `before` — the unit of cost
+/// attribution (headers included: bits on air are bits paid).
+struct CostDelta {
+  std::uint64_t bits = 0;
+  std::uint64_t messages = 0;
+};
+
+CostDelta cost_since(const sim::Network& net, const sim::CommSummary& before) {
+  const sim::CommSummary after = net.summary(/*include_headers=*/true);
+  return CostDelta{after.total_bits - before.total_bits,
+                   after.total_messages - before.total_messages};
+}
 
 bool is_stats_agg(query::AggKind k) {
   switch (k) {
@@ -144,7 +159,11 @@ Admission QueryService::admit(ParsedQuery&& parsed) {
     adm.plan = "naive: " + lq.plan.description;
   } else if (is_stats_agg(lq.q.agg)) {
     lq.path = Path::kStats;
+    const auto before = deployment_.net.summary(true);
     lq.group = scheduler_->ensure_stats_group(lq.region);
+    const CostDelta d = cost_since(deployment_.net, before);
+    group_costs_[lq.group].bits_on_air += d.bits;
+    group_costs_[lq.group].messages += d.messages;
     adm.plan = "shared stats bundle, group " + std::to_string(lq.group);
   } else if (lq.q.agg == query::AggKind::kCountDistinct) {
     lq.path = Path::kDistinct;
@@ -152,19 +171,33 @@ Admission QueryService::admit(ParsedQuery&& parsed) {
         lq.plan.strategy == query::Strategy::kApproxDistinct
             ? lq.plan.registers
             : 0;
+    const auto before = deployment_.net.summary(true);
     lq.group = scheduler_->ensure_distinct_group(lq.region, registers);
+    const CostDelta d = cost_since(deployment_.net, before);
+    group_costs_[lq.group].bits_on_air += d.bits;
+    group_costs_[lq.group].messages += d.messages;
     adm.plan = "shared distinct group " + std::to_string(lq.group);
   } else {
     lq.path = Path::kExecutor;  // median/quantile: no shared representation
     adm.plan = "per-query: " + lq.plan.description;
   }
 
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.instant("query.admit", "service", deployment_.net.now(), 0, "id",
+                 lq.id, "group", lq.group);
+  }
+
   if (adm.continuous) {
     live_.emplace(lq.id, std::move(lq));
   } else {
-    const bool cacheable = lq.path == Path::kStats && config_.use_cache;
-    adm.answer = cacheable && cache_serves(lq) ? answer_cached(lq)
-                                               : answer_fresh(lq);
+    // Single cache interrogation per serve: a lookup() hit is always
+    // consumed, so the cache's hit counter equals answers served from it.
+    std::optional<CachedAnswer> hit;
+    if (lq.path == Path::kStats && config_.use_cache) {
+      hit = cache_.lookup(lq.region, lq.q.agg, lq.q.error, epoch_);
+    }
+    adm.answer = hit ? answer_cached(lq, *hit) : answer_fresh(lq);
   }
   return adm;
 }
@@ -173,28 +206,45 @@ bool QueryService::cancel(QueryId id) {
   return live_.erase(id) != 0;
 }
 
-bool QueryService::cache_serves(const LiveQuery& lq) const {
+bool QueryService::cache_could_serve(const LiveQuery& lq) const {
+  // probe(), not lookup(): this is the planning pass, and a groupmate's
+  // veto can still force this query onto the fresh path — counting a hit
+  // here would overstate serves (see ResultCache::probe).
   return cache_
-      .lookup(lq.region, lq.q.agg, lq.q.error, epoch_)
+      .probe(lq.region, lq.q.agg, lq.q.error, epoch_)
       .has_value();
 }
 
-Answer QueryService::answer_cached(const LiveQuery& lq) {
-  const auto hit = cache_.lookup(lq.region, lq.q.agg, lq.q.error, epoch_);
-  SENSORNET_EXPECTS(hit.has_value());
+Answer QueryService::answer_cached(const LiveQuery& lq,
+                                   const CachedAnswer& hit) {
   Answer a;
   a.id = lq.id;
   a.epoch = epoch_;
-  a.value = hit->value;
-  a.error_bound = hit->bound;
-  a.exact = hit->exact;
+  a.value = hit.value;
+  a.error_bound = hit.bound;
+  a.exact = hit.exact;
   a.from_cache = true;
   ++telemetry_.answers;
   ++telemetry_.cache_hits;
+
+  QueryCost& qc = query_costs_[lq.id];
+  ++qc.answers;
+  ++qc.cache_hits;
+  const double tolerance =
+      lq.q.error ? *lq.q.error * std::max(1.0, std::abs(hit.value)) : 0.0;
+  qc.bound_slack += tolerance - hit.bound;  // >= 0: the hit met the gate
+
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.instant("query.answer", "service", deployment_.net.now(), 0, "id",
+                 lq.id, "cached", 1);
+  }
   return a;
 }
 
 Answer QueryService::answer_fresh(const LiveQuery& lq) {
+  const auto before = deployment_.net.summary(true);
+  const SharedPlanStats waves_before = scheduler_->stats();
   Answer a;
   switch (lq.path) {
     case Path::kStats: {
@@ -226,6 +276,31 @@ Answer QueryService::answer_fresh(const LiveQuery& lq) {
   a.id = lq.id;
   a.epoch = epoch_;
   ++telemetry_.answers;
+
+  // Marginal-cost attribution: a collection is idempotent per (group,
+  // epoch), so the first due subscriber pays the whole wave here and later
+  // groupmates see a zero delta.
+  const CostDelta d = cost_since(deployment_.net, before);
+  QueryCost& qc = query_costs_[lq.id];
+  ++qc.answers;
+  ++qc.fresh;
+  qc.bits_on_air += d.bits;
+  qc.messages += d.messages;
+  if (lq.path != Path::kExecutor) {
+    const SharedPlanStats waves_after = scheduler_->stats();
+    GroupCost& gc = group_costs_[lq.group];
+    gc.bits_on_air += d.bits;
+    gc.messages += d.messages;
+    gc.collections += (waves_after.stats_waves - waves_before.stats_waves) +
+                      (waves_after.distinct_waves -
+                       waves_before.distinct_waves);
+  }
+
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.instant("query.answer", "service", deployment_.net.now(), 0, "id",
+                 lq.id, "cached", 0);
+  }
   return a;
 }
 
@@ -233,6 +308,7 @@ std::vector<Answer> QueryService::run_epoch(
     std::span<const SensorUpdate> updates) {
   ++epoch_;
   stored_this_epoch_.clear();
+  const SimTime epoch_t0 = deployment_.net.now();
 
   // Apply the batch under the drift model the cache's soundness rests on.
   std::vector<NodeId> touched;
@@ -254,7 +330,13 @@ std::vector<Answer> QueryService::run_epoch(
     ++telemetry_.updates_applied;
   }
   if (config_.share_aggregation) {
+    // The mark wave serves every group at once; no single query caused it,
+    // so its bits land in the service-level bucket.
+    const auto before = deployment_.net.summary(true);
     scheduler_->note_updates(touched, epoch_);
+    const CostDelta d = cost_since(deployment_.net, before);
+    mark_bits_on_air_ += d.bits;
+    mark_messages_ += d.messages;
   }
 
   // Which stats groups can be served entirely from cache this epoch? A
@@ -269,7 +351,7 @@ std::vector<Answer> QueryService::run_epoch(
   if (config_.share_aggregation && config_.use_cache) {
     for (const auto& [id, lq] : live_) {
       if (lq.path != Path::kStats || !is_due(lq)) continue;
-      if (!cache_serves(lq)) fresh_needed.push_back(lq.group);
+      if (!cache_could_serve(lq)) fresh_needed.push_back(lq.group);
     }
   }
 
@@ -281,9 +363,40 @@ std::vector<Answer> QueryService::run_epoch(
         config_.use_cache &&
         std::find(fresh_needed.begin(), fresh_needed.end(), lq.group) ==
             fresh_needed.end();
-    answers.push_back(cacheable ? answer_cached(lq) : answer_fresh(lq));
+    if (cacheable) {
+      // Every due subscriber of a non-fresh group probed successfully in
+      // the planning pass, and nothing moved since — the lookup must hit.
+      const auto hit = cache_.lookup(lq.region, lq.q.agg, lq.q.error, epoch_);
+      SENSORNET_EXPECTS(hit.has_value());
+      answers.push_back(answer_cached(lq, *hit));
+    } else {
+      answers.push_back(answer_fresh(lq));
+    }
+  }
+
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.complete("epoch", "service", epoch_t0,
+                  deployment_.net.now() - epoch_t0, 0, "epoch", epoch_,
+                  "answers", answers.size());
   }
   return answers;
+}
+
+TelemetrySnapshot QueryService::telemetry_snapshot() const {
+  TelemetrySnapshot snap;
+  snap.totals = telemetry_;
+  snap.cache = cache_.counters();
+  snap.plan = scheduler_->stats();
+  snap.mark_bits_on_air = mark_bits_on_air_;
+  snap.mark_messages = mark_messages_;
+  snap.queries = query_costs_;
+  snap.groups = group_costs_;
+  for (const auto& [id, lq] : live_) {
+    if (lq.path == Path::kExecutor) continue;
+    ++snap.groups[lq.group].subscribers;
+  }
+  return snap;
 }
 
 }  // namespace sensornet::service

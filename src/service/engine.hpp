@@ -101,6 +101,45 @@ struct ServiceTelemetry {
   std::uint64_t updates_applied = 0;
 };
 
+/// Where one query's cost went, accumulated over its lifetime. Bits and
+/// messages follow the marginal-cost rule: the first due subscriber of a
+/// group each epoch pays the whole shared wave, and everyone after rides
+/// the warmed partials for free — so summing bits_on_air over queries (plus
+/// the service-level mark wave) reproduces the network total.
+struct QueryCost {
+  std::uint64_t answers = 0;
+  std::uint64_t cache_hits = 0;    // answered from the result cache
+  std::uint64_t fresh = 0;         // answered by a collection / executor run
+  std::uint64_t bits_on_air = 0;   // payload + header bits this query caused
+  std::uint64_t messages = 0;
+  /// Accumulated (tolerance - bound) over cache-served answers: how much
+  /// slack the query's epsilon left unused. Large slack means the client
+  /// could tighten ERROR and still be served from cache.
+  double bound_slack = 0.0;
+};
+
+/// One shared group's cost, accumulated over its lifetime. Bits include the
+/// install broadcast at creation and every collection wave since.
+struct GroupCost {
+  std::uint64_t collections = 0;  // fresh waves the group paid
+  std::uint64_t bits_on_air = 0;
+  std::uint64_t messages = 0;
+  std::uint32_t subscribers = 0;  // live continuous subscribers (snapshot)
+};
+
+/// Full cost-attribution view, assembled by telemetry_snapshot().
+struct TelemetrySnapshot {
+  ServiceTelemetry totals;
+  CacheCounters cache;
+  SharedPlanStats plan;
+  /// Dirty-mark propagation is a service-level cost: no single query causes
+  /// an update batch, so the mark wave's bits live here, not in QueryCost.
+  std::uint64_t mark_bits_on_air = 0;
+  std::uint64_t mark_messages = 0;
+  std::map<QueryId, QueryCost> queries;
+  std::map<GroupId, GroupCost> groups;
+};
+
 class QueryService {
  public:
   QueryService(query::Deployment deployment, ServiceConfig config);
@@ -138,6 +177,11 @@ class QueryService {
   const SharedPlanStats& plan_stats() const { return scheduler_->stats(); }
   const ResultCache& cache() const { return cache_; }
 
+  /// Assembles the full cost-attribution view: totals, cache outcome
+  /// counters, scheduler stats, the service-level mark-wave bucket, and the
+  /// per-query / per-group cost ledgers (with live subscriber counts).
+  TelemetrySnapshot telemetry_snapshot() const;
+
  private:
   /// How the service routes a query each time it is due.
   enum class Path {
@@ -169,8 +213,10 @@ class QueryService {
   ParsedQuery parse_and_plan(const std::string& text) const;
   Admission admit(ParsedQuery&& parsed);
   Answer answer_fresh(const LiveQuery& lq);
-  Answer answer_cached(const LiveQuery& lq);
-  bool cache_serves(const LiveQuery& lq) const;
+  /// Serves a lookup() hit the caller already holds — the cache is asked
+  /// exactly once per serve, so its hit counter matches answers served.
+  Answer answer_cached(const LiveQuery& lq, const CachedAnswer& hit);
+  bool cache_could_serve(const LiveQuery& lq) const;
 
   query::Deployment deployment_;
   ServiceConfig config_;
@@ -186,6 +232,12 @@ class QueryService {
   /// Stats groups already collected-and-stored this epoch (store-once guard).
   std::vector<GroupId> stored_this_epoch_;
   ServiceTelemetry telemetry_;
+
+  // ---- cost attribution ledgers (see TelemetrySnapshot) -----------------
+  std::map<QueryId, QueryCost> query_costs_;
+  std::map<GroupId, GroupCost> group_costs_;
+  std::uint64_t mark_bits_on_air_ = 0;
+  std::uint64_t mark_messages_ = 0;
 };
 
 }  // namespace sensornet::service

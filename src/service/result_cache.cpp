@@ -166,15 +166,52 @@ std::optional<CachedAnswer> ResultCache::bracket(
   return out;
 }
 
+std::optional<CachedAnswer> ResultCache::check(
+    const query::RegionSignature& region, query::AggKind agg,
+    std::optional<double> epsilon, std::uint32_t now_epoch,
+    bool count_hit) const {
+  const auto it = entries_.find(region);
+  if (it == entries_.end()) {
+    ++counters_.absent;
+    return std::nullopt;
+  }
+  SENSORNET_EXPECTS(now_epoch >= it->second.epoch);
+  if (!region.whole_domain &&
+      now_epoch - it->second.epoch > horizon_epochs_) {
+    ++counters_.expired;
+    return std::nullopt;
+  }
+  const auto br = bracket(region, agg, now_epoch);
+  if (!br) {
+    // Unbracketable aggregate or empty selection: the entry was no help.
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  const double tolerance =
+      epsilon ? *epsilon * std::max(1.0, std::abs(br->value)) : 0.0;
+  if (br->bound > tolerance) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  if (count_hit) {
+    ++counters_.hits;
+    if (br->exact) ++counters_.exact_hits;
+  }
+  return br;
+}
+
 std::optional<CachedAnswer> ResultCache::lookup(
     const query::RegionSignature& region, query::AggKind agg,
     std::optional<double> epsilon, std::uint32_t now_epoch) const {
-  const auto br = bracket(region, agg, now_epoch);
-  if (!br) return std::nullopt;
-  const double tolerance =
-      epsilon ? *epsilon * std::max(1.0, std::abs(br->value)) : 0.0;
-  if (br->bound > tolerance) return std::nullopt;
-  return br;
+  ++counters_.lookups;
+  return check(region, agg, epsilon, now_epoch, /*count_hit=*/true);
+}
+
+std::optional<CachedAnswer> ResultCache::probe(
+    const query::RegionSignature& region, query::AggKind agg,
+    std::optional<double> epsilon, std::uint32_t now_epoch) const {
+  ++counters_.probes;
+  return check(region, agg, epsilon, now_epoch, /*count_hit=*/false);
 }
 
 }  // namespace sensornet::service

@@ -71,6 +71,21 @@ struct CachedAnswer {
   bool exact = false;   // bound == 0
 };
 
+/// Monotonic outcome counters since construction. Every hit is a zero-bit
+/// answer (served without touching the network); `exact_hits` is the
+/// bound == 0 subset. `hits` counts only lookup() successes — probe(), the
+/// service's planning pass, never counts a hit — so hits equals answers
+/// actually served from the cache.
+struct CacheCounters {
+  std::uint64_t probes = 0;      // probe() calls
+  std::uint64_t lookups = 0;     // lookup() calls
+  std::uint64_t hits = 0;        // lookup() served an answer
+  std::uint64_t exact_hits = 0;  // ... with bound == 0
+  std::uint64_t misses = 0;      // bracket exists but exceeds the tolerance
+  std::uint64_t expired = 0;     // entry older than the bracketing horizon
+  std::uint64_t absent = 0;      // no entry for the region at all
+};
+
 class ResultCache {
  public:
   /// `horizon_epochs` is the margin the collector used (M = horizon *
@@ -86,11 +101,23 @@ class ResultCache {
   /// Bound-checked lookup: returns an answer only when the deterministic
   /// bound satisfies `epsilon` (relative tolerance; absent means "exact
   /// required"). Never serves MEDIAN/QUANTILE/COUNT_DISTINCT — those
-  /// aggregates are not bracketable from a stats bundle.
+  /// aggregates are not bracketable from a stats bundle. Counts a hit (or
+  /// the failure's kind) — call it only when a success will actually be
+  /// served to a query.
   std::optional<CachedAnswer> lookup(const query::RegionSignature& region,
                                      query::AggKind agg,
                                      std::optional<double> epsilon,
                                      std::uint32_t now_epoch) const;
+
+  /// Same answer as lookup(), but a success counts nothing: the service's
+  /// planning pass probes every due subscriber to decide which groups need
+  /// a fresh collection, and a groupmate's veto can force a query whose
+  /// probe succeeded to be answered fresh anyway. Failures still classify
+  /// (miss/expired/absent) — a failed probe IS the reason bits get spent.
+  std::optional<CachedAnswer> probe(const query::RegionSignature& region,
+                                    query::AggKind agg,
+                                    std::optional<double> epsilon,
+                                    std::uint32_t now_epoch) const;
 
   /// The raw bracket (no epsilon gate) — what lookup() compares against the
   /// tolerance. Exposed for tests and for the service's "could the cache
@@ -101,6 +128,7 @@ class ResultCache {
 
   std::size_t size() const { return entries_.size(); }
   std::uint64_t stores() const { return stores_; }
+  const CacheCounters& counters() const { return counters_; }
 
  private:
   struct Entry {
@@ -108,11 +136,20 @@ class ResultCache {
     StatsBundle bundle;
   };
 
+  /// Shared classify path behind lookup() and probe().
+  std::optional<CachedAnswer> check(const query::RegionSignature& region,
+                                    query::AggKind agg,
+                                    std::optional<double> epsilon,
+                                    std::uint32_t now_epoch,
+                                    bool count_hit) const;
+
   Value max_value_bound_;
   Value max_delta_;
   std::uint32_t horizon_epochs_;
   std::size_t capacity_;
   std::uint64_t stores_ = 0;
+  // Outcome telemetry is observability, not state: const lookups may count.
+  mutable CacheCounters counters_;
   std::map<query::RegionSignature, Entry> entries_;
 };
 

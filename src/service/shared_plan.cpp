@@ -7,12 +7,27 @@
 #include "src/common/codec.hpp"
 #include "src/common/error.hpp"
 #include "src/core/count_distinct.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/proto/item_view.hpp"
 #include "src/proto/tree_broadcast.hpp"
 
 namespace sensornet::service {
 
 namespace {
+
+/// Mirrors the scheduler's cumulative stats into registry gauges (last
+/// write wins, so the gauge always shows the current cumulative value).
+/// Called after every wave — cold path relative to the wave itself.
+void mirror_plan_stats(const SharedPlanStats& s) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge_set(reg.gauge("svc.plan.stats_waves"), s.stats_waves);
+  reg.gauge_set(reg.gauge("svc.plan.distinct_waves"), s.distinct_waves);
+  reg.gauge_set(reg.gauge("svc.plan.edges_descended"), s.edges_descended);
+  reg.gauge_set(reg.gauge("svc.plan.edges_skipped"), s.edges_skipped);
+  reg.gauge_set(reg.gauge("svc.plan.mark_messages"), s.mark_messages);
+  reg.gauge_set(reg.gauge("svc.plan.groups_created"), s.groups_created);
+}
 
 constexpr std::uint32_t kInvalidEpoch = std::numeric_limits<std::uint32_t>::max();
 constexpr std::uint32_t kMarkSession = 0x7F00;
@@ -159,12 +174,19 @@ void SharedPlanScheduler::note_updates(std::span<const NodeId> updated,
   // state.)
   std::vector<std::uint32_t> forwarded(tree_.node_count(), kNever);
   MarkWave wave(*this, epoch, forwarded);
+  const SimTime t0 = net_.now();
   for (const NodeId u : updated) {
     SENSORNET_EXPECTS(u < tree_.node_count());
     subtree_changed_epoch_[u] = epoch;
     wave.emit_mark(net_, u);
   }
   net_.run(wave);
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.complete("mark.wave", "service", t0, net_.now() - t0, 0, "epoch",
+                  epoch, "updated", updated.size());
+  }
+  mirror_plan_stats(stats_);
 }
 
 // ---- incremental stats collection ----------------------------------------
@@ -223,10 +245,19 @@ class SharedPlanScheduler::StatsWave final : public sim::ProtocolHandler {
       const std::uint32_t have = g_.child_partial_epoch[node][ci];
       const bool fresh = have != kInvalidEpoch &&
                          sched_.child_changed_epoch_[node][ci] <= have;
+      obs::TraceRing& ring = obs::TraceRing::global();
       if (fresh) {
         accum_[node].combine(g_.child_partial[node][ci]);
         ++sched_.stats_.edges_skipped;
+        if (ring.enabled()) {
+          ring.instant("edge.cached", "service", net.now(), 0, "node", node,
+                       "child", kids[ci]);
+        }
         continue;
+      }
+      if (ring.enabled()) {
+        ring.instant("edge.descend", "service", net.now(), 0, "node", node,
+                     "child", kids[ci]);
       }
       BitWriter w;
       w.write_bit(true);
@@ -350,10 +381,17 @@ const StatsBundle& SharedPlanScheduler::collect_stats(GroupId group,
   Group& g = *groups_[group];
   SENSORNET_EXPECTS(g.family == Group::Family::kStats);
   if (g.last_collect_epoch == epoch) return g.root_bundle;  // idempotent
+  const SimTime t0 = net_.now();
   StatsWave wave(*this, g, epoch);
   g.root_bundle = wave.execute(net_);
   g.last_collect_epoch = epoch;
   ++stats_.stats_waves;
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.complete("collect.stats", "service", t0, net_.now() - t0, 0,
+                  "group", group, "epoch", epoch);
+  }
+  mirror_plan_stats(stats_);
   return g.root_bundle;
 }
 
@@ -367,6 +405,7 @@ double SharedPlanScheduler::collect_distinct(GroupId group,
   const proto::LocalItemView& item_view =
       g.region.whole_domain ? proto::raw_item_view()
                             : static_cast<const proto::LocalItemView&>(view);
+  const SimTime t0 = net_.now();
   if (g.registers == 0) {
     g.distinct_estimate = static_cast<double>(
         core::exact_count_distinct(net_, tree_, item_view).distinct);
@@ -379,6 +418,12 @@ double SharedPlanScheduler::collect_distinct(GroupId group,
   }
   g.last_collect_epoch = epoch;
   ++stats_.distinct_waves;
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.complete("collect.distinct", "service", t0, net_.now() - t0, 0,
+                  "group", group, "epoch", epoch);
+  }
+  mirror_plan_stats(stats_);
   return g.distinct_estimate;
 }
 

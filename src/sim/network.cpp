@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace sensornet::sim {
 
@@ -138,8 +140,15 @@ void Network::send(Message msg) {
   if (!graph_.has_edge(msg.from, msg.to)) {
     throw ProtocolError("send: no link between sender and destination");
   }
+  ++obs_unicasts_;
+  obs_payload_bits_ += msg.payload_bits;
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.instant("msg.send", "sim", now_, 0, "from", msg.from, "to", msg.to);
+  }
   charge_send(msg.from, msg);
   if (loss_probability_ > 0.0 && loss_rng_.next_bool(loss_probability_)) {
+    ++obs_drops_;
     return;  // transmitted into the void; the sender's bits are spent
   }
   charge_receive(msg.to, msg);
@@ -161,11 +170,19 @@ void Network::send_medium(Message msg) {
   }
   // The radio transmits once; every other node's receiver pays. Every
   // scheduled copy shares msg's payload slab by refcount.
+  ++obs_broadcasts_;
+  obs_payload_bits_ += msg.payload_bits;
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.instant("msg.broadcast", "sim", now_, 0, "from", msg.from, "bits",
+                 msg.payload_bits);
+  }
   charge_send(msg.from, msg);
   for (NodeId u = 0; u < node_count(); ++u) {
     if (u == msg.from) continue;
     // Loss is per receiver: fading is independent at each radio.
     if (loss_probability_ > 0.0 && loss_rng_.next_bool(loss_probability_)) {
+      ++obs_drops_;
       continue;
     }
     charge_receive(u, msg);
@@ -174,6 +191,7 @@ void Network::send_medium(Message msg) {
 }
 
 void Network::run(ProtocolHandler& handler, std::uint64_t max_deliveries) {
+  obs::TraceRing& ring = obs::TraceRing::global();
   std::uint64_t delivered = 0;
   while (pending_ > 0) {
     if (cursor_ == round_now_.size()) {
@@ -198,11 +216,35 @@ void Network::run(ProtocolHandler& handler, std::uint64_t max_deliveries) {
     }
     free_slots_.push_back(slot);
     --pending_;
+    ++obs_deliveries_;
+    if (ring.enabled()) {
+      ring.instant("msg.deliver", "sim", now_, 0, "from", msg.from, "to",
+                   msg.to);
+    }
     handler.on_message(*this, msg.to, msg);
   }
   round_now_.clear();
   round_next_.clear();
   cursor_ = 0;
+  flush_obs_counters();
+}
+
+void Network::flush_obs_counters() {
+  if (obs_unicasts_ == 0 && obs_broadcasts_ == 0 && obs_deliveries_ == 0 &&
+      obs_drops_ == 0 && obs_payload_bits_ == 0) {
+    return;
+  }
+  obs::Registry& reg = obs::Registry::global();
+  reg.add(reg.counter("sim.unicasts"), obs_unicasts_);
+  reg.add(reg.counter("sim.broadcasts"), obs_broadcasts_);
+  reg.add(reg.counter("sim.deliveries"), obs_deliveries_);
+  reg.add(reg.counter("sim.drops"), obs_drops_);
+  reg.add(reg.counter("sim.payload_bits_sent"), obs_payload_bits_);
+  obs_unicasts_ = 0;
+  obs_broadcasts_ = 0;
+  obs_deliveries_ = 0;
+  obs_drops_ = 0;
+  obs_payload_bits_ = 0;
 }
 
 NodeCommStats Network::stats(NodeId node) const {
@@ -258,6 +300,13 @@ void Network::reset_accounting() {
   now_ = 0;
   watched_bits_ = 0;
   peak_in_flight_bytes_ = 0;
+  // Pending obs counters describe the window being discarded, not the next
+  // one; anything unflushed (sends queued but never run()) dies with it.
+  obs_unicasts_ = 0;
+  obs_broadcasts_ = 0;
+  obs_deliveries_ = 0;
+  obs_drops_ = 0;
+  obs_payload_bits_ = 0;
 }
 
 void Network::reset(std::uint64_t master_seed) {

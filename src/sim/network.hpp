@@ -163,6 +163,10 @@ class Network {
   void schedule(Message msg, NodeId to);
   void note_in_flight_high_water();
   void ensure_rngs();
+  /// Publishes the batched sim.* counters to the obs registry and zeroes
+  /// the pending fields. Called once per run() — the send/deliver hot paths
+  /// only bump plain members, never the (atomic) registry cells.
+  void flush_obs_counters();
 
   net::Graph graph_;
   std::uint64_t master_seed_ = 0;
@@ -198,6 +202,15 @@ class Network {
   NodeId watch_u_ = kNoNode;
   NodeId watch_v_ = kNoNode;
   std::uint64_t watched_bits_ = 0;
+
+  // Pending observability counters (flushed by flush_obs_counters). Plain
+  // integers: cheaper than registry atomics at per-message frequency, and
+  // reset with the accounting window they describe.
+  std::uint64_t obs_unicasts_ = 0;
+  std::uint64_t obs_broadcasts_ = 0;
+  std::uint64_t obs_deliveries_ = 0;
+  std::uint64_t obs_drops_ = 0;
+  std::uint64_t obs_payload_bits_ = 0;
 };
 
 }  // namespace sensornet::sim

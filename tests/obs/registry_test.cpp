@@ -1,0 +1,149 @@
+#include "src/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/common/trial_farm.hpp"
+
+namespace sensornet::obs {
+namespace {
+
+// Every suite skips cleanly when the library was configured with
+// -DSENSORNET_OBS=OFF: the stub registry returns empty snapshots, and there
+// is nothing meaningful left to assert.
+#define REQUIRE_OBS() \
+  if (!kObsEnabled) GTEST_SKIP() << "built with SENSORNET_OBS=OFF"
+
+/// Runs a fixed 64-cell matrix on `workers` farm workers, metering into a
+/// private registry, and returns the canonical snapshot text.
+std::string run_matrix(unsigned workers) {
+  Registry reg;
+  const MetricId cells = reg.counter("test.cells");
+  const MetricId weight = reg.counter("test.weight");
+  const std::array<std::uint64_t, 3> bounds{8, 16, 32};
+  const MetricId value = reg.histogram("test.value", bounds);
+  const MetricId high = reg.gauge("test.high_cell");
+
+  TrialFarm farm(workers);
+  farm.for_each(64, [&](std::size_t cell) {
+    reg.add(cells);
+    reg.add(weight, cell);
+    reg.observe(value, cell % 40);
+    reg.gauge_max(high, cell);
+  });
+  return reg.snapshot().to_string();
+}
+
+TEST(Registry, SnapshotsAreByteIdenticalAcrossWorkerCounts) {
+  REQUIRE_OBS();
+  const std::string serial = run_matrix(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_matrix(2));
+  EXPECT_EQ(serial, run_matrix(8));
+}
+
+TEST(Registry, HistogramBucketBoundariesAreInclusiveUpper) {
+  REQUIRE_OBS();
+  Registry reg;
+  const std::array<std::uint64_t, 2> bounds{10, 20};
+  const MetricId h = reg.histogram("h", bounds);
+  // Bucket i counts bounds[i-1] < v <= bounds[i]; first bucket v <= 10,
+  // implied overflow bucket for v > 20.
+  reg.observe(h, 0);
+  reg.observe(h, 10);   // still the first bucket
+  reg.observe(h, 11);   // second bucket
+  reg.observe(h, 20);   // still the second bucket
+  reg.observe(h, 21);   // overflow
+  reg.observe(h, 1000);  // overflow
+
+  const Snapshot snap = reg.snapshot();
+  const MetricSnapshot* m = snap.find("h");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->hist.counts.size(), 3u);
+  EXPECT_EQ(m->hist.counts[0], 2u);
+  EXPECT_EQ(m->hist.counts[1], 2u);
+  EXPECT_EQ(m->hist.counts[2], 2u);
+  EXPECT_EQ(m->hist.total(), 6u);
+}
+
+TEST(Registry, GaugeSetAddAndMax) {
+  REQUIRE_OBS();
+  Registry reg;
+  const MetricId g = reg.gauge("g");
+  reg.gauge_set(g, 7);
+  EXPECT_EQ(reg.snapshot().value("g"), 7u);
+  reg.gauge_add(g, 3);
+  EXPECT_EQ(reg.snapshot().value("g"), 10u);
+  reg.gauge_max(g, 4);  // below the current value: no effect
+  EXPECT_EQ(reg.snapshot().value("g"), 10u);
+  reg.gauge_max(g, 25);
+  EXPECT_EQ(reg.snapshot().value("g"), 25u);
+}
+
+TEST(Registry, RegistrationIsIdempotentPerShape) {
+  REQUIRE_OBS();
+  Registry reg;
+  const MetricId a = reg.counter("same");
+  const MetricId b = reg.counter("same");
+  EXPECT_EQ(a.cell, b.cell);
+  reg.add(a);
+  reg.add(b);
+  EXPECT_EQ(reg.snapshot().value("same"), 2u);
+
+  EXPECT_THROW(reg.gauge("same"), std::logic_error);
+  const std::array<std::uint64_t, 2> bounds{1, 2};
+  const std::array<std::uint64_t, 2> other{1, 3};
+  reg.histogram("hist", bounds);
+  EXPECT_THROW(reg.histogram("hist", other), std::logic_error);
+  const std::array<std::uint64_t, 2> unsorted{5, 5};
+  EXPECT_THROW(reg.histogram("bad", unsorted), std::invalid_argument);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsRegistrations) {
+  REQUIRE_OBS();
+  Registry reg;
+  const MetricId c = reg.counter("c");
+  reg.add(c, 41);
+  reg.reset();
+  const Snapshot snap = reg.snapshot();
+  ASSERT_NE(snap.find("c"), nullptr);  // name survives
+  EXPECT_EQ(snap.value("c"), 0u);
+  reg.add(c, 5);  // the pre-reset id still routes to the same cell
+  EXPECT_EQ(reg.snapshot().value("c"), 5u);
+}
+
+TEST(Registry, RuntimeDisableDropsIncrements) {
+  REQUIRE_OBS();
+  Registry reg;
+  const MetricId c = reg.counter("c");
+  reg.add(c, 2);
+  reg.set_enabled(false);
+  reg.add(c, 100);
+  reg.set_enabled(true);
+  reg.add(c, 3);
+  EXPECT_EQ(reg.snapshot().value("c"), 5u);
+}
+
+TEST(Registry, FarmPublishesSchedulingCounters) {
+  REQUIRE_OBS();
+  // The farm publishes cumulatively into the global registry; read deltas
+  // so the test is immune to earlier runs in this process.
+  Registry& reg = Registry::global();
+  const std::uint64_t runs0 = reg.snapshot().value("farm.runs");
+  const std::uint64_t cells0 = reg.snapshot().value("farm.cells");
+
+  TrialFarm farm(2);
+  farm.for_each(8, [](std::size_t) {});
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("farm.runs"), runs0 + 1);
+  EXPECT_EQ(snap.value("farm.cells"), cells0 + 8);
+  EXPECT_EQ(snap.value("farm.workers_last"), 2u);
+}
+
+}  // namespace
+}  // namespace sensornet::obs

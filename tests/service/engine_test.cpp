@@ -261,5 +261,90 @@ TEST(QueryService, SharedModeShipsFewerBitsThanNaive) {
   EXPECT_LT(shared_bits * 2, naive_bits);
 }
 
+TEST(QueryService, TelemetrySnapshotAttributesCostsToQueriesAndGroups) {
+  Fixture f;
+  const auto tolerant =
+      f.svc.submit("SELECT AVG(v) FROM s EVERY 1 EPOCHS ERROR 0.2").value();
+  const auto exact =
+      f.svc.submit("SELECT SUM(v) FROM s WHERE v BETWEEN 20 AND 200 "
+                   "EVERY 1 EPOCHS")
+          .value();
+  f.svc.run_epoch({});
+  for (int e = 0; e < 3; ++e) {
+    const std::vector<SensorUpdate> batch{f.drift(5, 2)};
+    f.svc.run_epoch(batch);
+  }
+
+  const TelemetrySnapshot snap = f.svc.telemetry_snapshot();
+
+  // The tolerant whole-domain query pays its first collection, then rides
+  // the cache; the exact ranged query pays a fresh wave every epoch.
+  const QueryCost& tc = snap.queries.at(tolerant.id);
+  EXPECT_EQ(tc.answers, 4u);
+  EXPECT_EQ(tc.fresh, 1u);
+  EXPECT_EQ(tc.cache_hits, 3u);
+  EXPECT_GT(tc.bits_on_air, 0u);
+  EXPECT_GT(tc.bound_slack, 0.0);
+  const QueryCost& ec = snap.queries.at(exact.id);
+  EXPECT_EQ(ec.answers, 4u);
+  EXPECT_EQ(ec.fresh, 4u);
+  EXPECT_EQ(ec.cache_hits, 0u);
+  EXPECT_DOUBLE_EQ(ec.bound_slack, 0.0);
+  EXPECT_GT(ec.bits_on_air, tc.bits_on_air);
+
+  // Cache hit accounting is consistent end to end: engine totals, the
+  // cache's own counters, and the per-query ledgers all agree.
+  EXPECT_EQ(snap.totals.cache_hits, 3u);
+  EXPECT_EQ(snap.cache.hits, 3u);
+  EXPECT_EQ(snap.cache.hits, tc.cache_hits + ec.cache_hits);
+  EXPECT_GT(snap.cache.misses + snap.cache.absent, 0u);
+
+  // Two distinct regions -> two groups, each with one live subscriber, and
+  // every group's collections were paid by its subscribers' fresh answers.
+  ASSERT_EQ(snap.groups.size(), 2u);
+  std::uint64_t group_collections = 0;
+  for (const auto& [gid, gc] : snap.groups) {
+    EXPECT_EQ(gc.subscribers, 1u);
+    group_collections += gc.collections;
+  }
+  EXPECT_EQ(group_collections, snap.plan.stats_waves);
+
+  // Marginal-cost conservation: per-query bits plus the service-level mark
+  // wave account for every bit the network charged.
+  const std::uint64_t total_bits = f.net.summary(true).total_bits;
+  std::uint64_t attributed = snap.mark_bits_on_air;
+  for (const auto& [id, qc] : snap.queries) attributed += qc.bits_on_air;
+  // Group-install broadcasts are charged to groups, not queries.
+  for (const auto& [gid, gc] : snap.groups) {
+    EXPECT_GT(gc.bits_on_air, 0u);
+  }
+  std::uint64_t fresh_bits = 0;
+  for (const auto& [id, qc] : snap.queries) fresh_bits += qc.bits_on_air;
+  EXPECT_LE(attributed, total_bits);
+  EXPECT_GT(fresh_bits, 0u);
+}
+
+TEST(QueryService, AttributedBitsPlusMarksEqualNetworkTotal) {
+  Fixture f;
+  // Whole-domain groups only: no install broadcasts, so query bits plus
+  // mark-wave bits must reproduce the network total exactly.
+  f.svc.submit("SELECT SUM(v) FROM s EVERY 1 EPOCHS").value();
+  f.svc.submit("SELECT COUNT(v) FROM s EVERY 2 EPOCHS").value();
+  for (int e = 0; e < 4; ++e) {
+    const std::vector<SensorUpdate> batch{f.drift(11, 2)};
+    f.svc.run_epoch(batch);
+  }
+  const TelemetrySnapshot snap = f.svc.telemetry_snapshot();
+  std::uint64_t attributed = snap.mark_bits_on_air;
+  std::uint64_t attributed_msgs = snap.mark_messages;
+  for (const auto& [id, qc] : snap.queries) {
+    attributed += qc.bits_on_air;
+    attributed_msgs += qc.messages;
+  }
+  const auto total = f.net.summary(true);
+  EXPECT_EQ(attributed, total.total_bits);
+  EXPECT_EQ(attributed_msgs, total.total_messages);
+}
+
 }  // namespace
 }  // namespace sensornet::service
