@@ -1,0 +1,677 @@
+// EXP — multiresolution aggregation cube: query-cost cliff vs pure tree
+// collection (BENCH_PR10.json).
+//
+// Four lanes, one report:
+//
+//  1. Cached-range bits — an overlapping continuous-query lane (whole-domain
+//     and dyadic-aligned ranges, a couple of unaligned stragglers) runs on
+//     identical deployments twice: once with the cube enabled (cell covers
+//     kept incrementally fresh off the dirty-mark wave, drift brackets for
+//     tolerant subscribers) and once in naive mode (every due query re-runs
+//     the one-shot tree executor). The claim gated here and in CI: the cube
+//     ships at least 5x fewer total bits on this lane.
+//
+//  2. Oracle identity — every exact (ERROR-free) answer from the cube run
+//     must be BYTE-identical (bit_cast of the double) to the naive
+//     tree-collected answer for the same query at the same epoch; every
+//     tolerant answer must contain the mirror-recomputed truth within its
+//     deterministic bound. Violations are FATAL.
+//
+//  3. Region sweep — one-shot SUM over regions from a single cell to the
+//     whole domain, aligned and unaligned. For each region: the cold cost
+//     (first cube serve, geometry install included), the warm repeat cost
+//     (cells fresh: zero for pure-cell covers, residue-only for unaligned
+//     ends), and the pure tree-collection cost. This is the cost cliff the
+//     planner's bit model navigates.
+//
+//  4. Determinism — the cube lane replayed at 1/2/8 submit_batch workers;
+//     an FNV-1a checksum over the full answer stream must be identical at
+//     every count.
+//
+// A fifth mini-lane repeats the identity check for COUNT_DISTINCT: the
+// cube's maintained HLL partials replicate the one-shot protocol's sketch
+// geometry, so estimates must match bit for bit too.
+//
+// Usage: exp_cube [--quick] [--out PATH] [--threads N]
+//   --quick    smaller deployment / fewer epochs (CI smoke lane)
+//   --out      output JSON path (default: BENCH_PR10.json)
+//   --threads  submit_batch farm workers; 0 = hardware concurrency
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/trial_farm.hpp"
+#include "src/common/types.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/net/topology.hpp"
+#include "src/service/engine.hpp"
+#include "src/sim/network.hpp"
+
+namespace sensornet::bench {
+namespace {
+
+using service::Answer;
+using service::QueryService;
+using service::SensorUpdate;
+using service::ServiceConfig;
+
+constexpr Value kBound = 1000;
+
+struct Scale {
+  unsigned grid_side;    // cached-range deployment is side x side
+  std::uint32_t epochs;  // cached-range lane epochs
+  unsigned sweep_side;   // region-sweep deployment
+  unsigned distinct_side;
+  std::uint32_t distinct_epochs;
+};
+
+constexpr Scale kFull = {24, 32, 16, 16, 10};
+constexpr Scale kQuick = {12, 10, 10, 10, 6};
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void mix_u64(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+  void mix_answer(const Answer& a) {
+    mix_u64(a.id);
+    mix_u64(a.epoch);
+    mix_u64(std::bit_cast<std::uint64_t>(a.value));
+    mix_u64(std::bit_cast<std::uint64_t>(a.error_bound));
+    mix_u64((a.exact ? 1u : 0u) | (a.from_cache ? 2u : 0u) |
+            (a.empty_selection ? 4u : 0u));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Cached-range lane.
+// ---------------------------------------------------------------------------
+struct ContinuousSpec {
+  query::AggregateKind agg;
+  Value lo, hi;  // region (0..kBound == whole domain)
+  unsigned every;
+  double error;  // 0 = exact subscriber (byte-compared against the oracle)
+};
+
+/// Whole-domain and dyadic-aligned regions dominate — the cube's home turf —
+/// with two unaligned stragglers so residue collection stays on the path.
+std::vector<ContinuousSpec> continuous_specs() {
+  using query::AggregateKind;
+  return {
+      // Whole domain: one incrementally-fresh root cell serves them all.
+      {AggregateKind::kCount, 0, kBound, 1, 0.0},
+      {AggregateKind::kSum, 0, kBound, 2, 0.0},
+      {AggregateKind::kSum, 0, kBound, 1, 0.1},
+      {AggregateKind::kAvg, 0, kBound, 1, 0.1},
+      {AggregateKind::kCount, 0, kBound, 1, 0.05},
+      {AggregateKind::kSum, 0, kBound, 2, 0.2},
+      {AggregateKind::kAvg, 0, kBound, 2, 0.15},
+      // Dyadic-aligned ranges: exactly one maintained cell each.
+      {AggregateKind::kSum, 0, 499, 2, 0.0},
+      {AggregateKind::kCount, 0, 499, 1, 0.15},
+      {AggregateKind::kAvg, 0, 499, 2, 0.15},
+      {AggregateKind::kSum, 500, kBound, 1, 0.15},
+      {AggregateKind::kCount, 250, 499, 1, 0.15},
+      {AggregateKind::kSum, 750, kBound, 2, 0.2},
+      // Unaligned stragglers: covers need residue ends.
+      {AggregateKind::kSum, 100, 580, 4, 0.2},
+      {AggregateKind::kCount, 730, 900, 4, 0.2},
+  };
+}
+
+std::string spec_text(const ContinuousSpec& s) {
+  using query::AggregateKind;
+  std::ostringstream os;
+  os << "SELECT ";
+  switch (s.agg) {
+    case AggregateKind::kCount: os << "COUNT"; break;
+    case AggregateKind::kSum: os << "SUM"; break;
+    case AggregateKind::kAvg: os << "AVG"; break;
+    case AggregateKind::kMin: os << "MIN"; break;
+    case AggregateKind::kMax: os << "MAX"; break;
+    default: os << "COUNT"; break;
+  }
+  os << "(v) FROM s";
+  if (s.lo != 0 || s.hi != kBound) {
+    os << " WHERE v BETWEEN " << s.lo << " AND " << s.hi;
+  }
+  os << " EVERY " << s.every << " EPOCHS";
+  if (s.error > 0.0) os << " ERROR " << s.error;
+  return os.str();
+}
+
+double exact_over(const std::vector<Value>& mirror, const ContinuousSpec& s,
+                  bool& empty) {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  for (Value v : mirror) {
+    if (v < s.lo || v > s.hi) continue;
+    ++count;
+    sum += v;
+  }
+  empty = count == 0;
+  switch (s.agg) {
+    case query::AggregateKind::kCount: return static_cast<double>(count);
+    case query::AggregateKind::kSum: return static_cast<double>(sum);
+    case query::AggregateKind::kAvg:
+      return empty ? 0.0 : static_cast<double>(sum) / count;
+    default: return 0.0;
+  }
+}
+
+struct LaneRun {
+  std::vector<Answer> answers;  // flattened, epoch-major, admission order
+  std::uint64_t total_bits = 0;
+  std::uint64_t bound_checked = 0;
+  std::uint64_t bound_violations = 0;
+  std::uint64_t checksum = 0;
+  service::TelemetrySnapshot telemetry;
+};
+
+/// Runs the cached-range scenario once. Deterministic for a fixed scale
+/// regardless of `threads` — that invariance is lane 4.
+LaneRun run_cached_lane(const Scale& s, unsigned threads, bool with_cube) {
+  const unsigned n = s.grid_side * s.grid_side;
+  sim::Network net(net::make_grid(s.grid_side, s.grid_side),
+                   /*master_seed=*/77);
+  const net::SpanningTree tree = net::bfs_tree(net.graph(), 0);
+  std::vector<Value> mirror(n);
+  for (NodeId u = 0; u < n; ++u) {
+    mirror[u] = static_cast<Value>((u * 37) % (kBound + 1));
+  }
+  net.set_one_item_per_node(mirror);
+
+  ServiceConfig cfg;
+  cfg.threads = threads;
+  cfg.use_cube = with_cube;
+  cfg.share_aggregation = false;  // cube vs raw per-query execution
+  cfg.use_cache = with_cube;
+  QueryService svc(query::Deployment{net, tree, kBound}, cfg);
+
+  const std::vector<ContinuousSpec> specs = continuous_specs();
+  std::vector<std::string> texts;
+  texts.reserve(specs.size());
+  for (const auto& spec : specs) texts.push_back(spec_text(spec));
+
+  Fnv1a sum;
+  LaneRun lane;
+  std::vector<service::QueryId> ids;
+  for (const auto& r : svc.submit_batch(texts)) {
+    if (!r.ok()) {
+      std::cerr << "FATAL: cached-range admission failed: " << r.error()
+                << "\n";
+      std::exit(1);
+    }
+    ids.push_back(r.value().id);
+    sum.mix_u64(r.value().id);
+  }
+
+  for (std::uint32_t e = 1; e <= s.epochs; ++e) {
+    // A quarter of the deployment drifts each epoch: incremental refresh
+    // always has clean subtrees to skip, but never goes fully quiescent.
+    std::vector<SensorUpdate> batch;
+    for (NodeId u = e % 4; u < n; u += 4) {
+      const Value delta = (u + e) % 2 == 0 ? 3 : -3;
+      const Value v = std::clamp<Value>(mirror[u] + delta, 0, kBound);
+      mirror[u] = v;
+      batch.push_back(SensorUpdate{u, v});
+    }
+    for (const Answer& a : svc.run_epoch(batch)) {
+      sum.mix_answer(a);
+      const ContinuousSpec& spec = specs[a.id - ids.front()];
+      // Deterministic-bound soundness applies to the cube run only: in
+      // naive mode a tolerant query runs a randomized approximation
+      // protocol whose guarantee is statistical, not a drift bracket.
+      if (with_cube && spec.error > 0.0) {
+        // Tolerant answers: the deterministic bound must contain the truth.
+        ++lane.bound_checked;
+        bool empty = false;
+        const double truth = exact_over(mirror, spec, empty);
+        if (!empty && std::abs(a.value - truth) > a.error_bound + 1e-9) {
+          ++lane.bound_violations;
+          std::cerr << "bound violation: id=" << a.id << " epoch=" << e
+                    << " value=" << a.value << " truth=" << truth
+                    << " bound=" << a.error_bound << "\n";
+        }
+      }
+      lane.answers.push_back(a);
+    }
+  }
+
+  lane.total_bits = net.summary(/*include_headers=*/true).total_bits;
+  lane.telemetry = svc.telemetry_snapshot();
+  sum.mix_u64(lane.total_bits);
+  lane.checksum = sum.h;
+  return lane;
+}
+
+/// Byte-compares the exact answers of a cube run against the naive oracle
+/// run (same specs, same drift, same due schedule -> same answer order).
+std::uint64_t count_oracle_mismatches(const LaneRun& cube,
+                                      const LaneRun& naive) {
+  if (cube.answers.size() != naive.answers.size()) {
+    std::cerr << "FATAL: answer streams diverged in shape ("
+              << cube.answers.size() << " vs " << naive.answers.size()
+              << ")\n";
+    std::exit(1);
+  }
+  const std::vector<ContinuousSpec> specs = continuous_specs();
+  std::uint64_t mismatches = 0;
+  for (std::size_t i = 0; i < cube.answers.size(); ++i) {
+    const Answer& c = cube.answers[i];
+    const Answer& n = naive.answers[i];
+    const ContinuousSpec& spec = specs[c.id - 1];  // fresh service: ids 1..N
+    if (spec.error > 0.0) continue;  // tolerant: bound-checked instead
+    if (std::bit_cast<std::uint64_t>(c.value) !=
+        std::bit_cast<std::uint64_t>(n.value)) {
+      ++mismatches;
+      std::cerr << "oracle mismatch: id=" << c.id << " epoch=" << c.epoch
+                << " cube=" << std::setprecision(17) << c.value
+                << " tree=" << n.value << "\n";
+    }
+  }
+  return mismatches;
+}
+
+// ---------------------------------------------------------------------------
+// Region-sweep lane.
+// ---------------------------------------------------------------------------
+struct SweepRow {
+  Value lo = 0, hi = 0;
+  bool whole = false;
+  std::uint64_t first_bits = 0;   // cold cube serve (geometry install incl.)
+  std::uint64_t repeat_bits = 0;  // warm repeat: the marginal cube cost
+  std::uint64_t tree_bits = 0;    // pure tree collection
+  std::uint64_t mismatches = 0;
+};
+
+SweepRow run_sweep_region(const Scale& s, Value lo, Value hi) {
+  SweepRow row;
+  row.lo = lo;
+  row.hi = hi;
+  row.whole = lo == 0 && hi == kBound;
+  std::ostringstream os;
+  os << "SELECT SUM(v) FROM s";
+  if (!row.whole) os << " WHERE v BETWEEN " << lo << " AND " << hi;
+  const std::string text = os.str();
+
+  const unsigned n = s.sweep_side * s.sweep_side;
+  std::vector<Value> values(n);
+  for (NodeId u = 0; u < n; ++u) {
+    values[u] = static_cast<Value>((u * 37) % (kBound + 1));
+  }
+
+  const auto one_shot = [&](QueryService& svc, sim::Network& net) {
+    const auto before = net.summary(true).total_bits;
+    const auto r = svc.submit(text);
+    if (!r.ok() || !r.value().answer) {
+      std::cerr << "FATAL: sweep admission failed: "
+                << (r.ok() ? "no answer" : r.error()) << "\n";
+      std::exit(1);
+    }
+    return std::pair{r.value().answer->value,
+                     net.summary(true).total_bits - before};
+  };
+
+  sim::Network cube_net(net::make_grid(s.sweep_side, s.sweep_side), 5);
+  const net::SpanningTree cube_tree = net::bfs_tree(cube_net.graph(), 0);
+  cube_net.set_one_item_per_node(values);
+  ServiceConfig cube_cfg;
+  cube_cfg.use_cube = true;
+  cube_cfg.share_aggregation = false;
+  cube_cfg.use_cache = false;  // measure the cube itself, not the cache
+  QueryService cube_svc(query::Deployment{cube_net, cube_tree, kBound},
+                        cube_cfg);
+
+  sim::Network tree_net(net::make_grid(s.sweep_side, s.sweep_side), 5);
+  const net::SpanningTree tree_tree = net::bfs_tree(tree_net.graph(), 0);
+  tree_net.set_one_item_per_node(values);
+  ServiceConfig tree_cfg;
+  tree_cfg.share_aggregation = false;
+  tree_cfg.use_cache = false;
+  QueryService tree_svc(query::Deployment{tree_net, tree_tree, kBound},
+                        tree_cfg);
+
+  const auto [v_first, b_first] = one_shot(cube_svc, cube_net);
+  const auto [v_repeat, b_repeat] = one_shot(cube_svc, cube_net);
+  const auto [v_tree, b_tree] = one_shot(tree_svc, tree_net);
+  row.first_bits = b_first;
+  row.repeat_bits = b_repeat;
+  row.tree_bits = b_tree;
+  for (const double v : {v_first, v_repeat}) {
+    if (std::bit_cast<std::uint64_t>(v) !=
+        std::bit_cast<std::uint64_t>(v_tree)) {
+      ++row.mismatches;
+      std::cerr << "sweep mismatch [" << lo << "," << hi << "]: cube=" << v
+                << " tree=" << v_tree << "\n";
+    }
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// COUNT_DISTINCT identity mini-lane.
+// ---------------------------------------------------------------------------
+struct DistinctLane {
+  std::uint64_t answers = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t cube_bits = 0;
+  std::uint64_t tree_bits = 0;
+};
+
+DistinctLane run_distinct_lane(const Scale& s, unsigned threads) {
+  const unsigned n = s.distinct_side * s.distinct_side;
+  const std::vector<std::string> texts = {
+      "SELECT COUNT_DISTINCT(v) FROM s EVERY 1 EPOCHS ERROR 0.15",
+      "SELECT COUNT_DISTINCT(v) FROM s WHERE v BETWEEN 0 AND 499 "
+      "EVERY 2 EPOCHS ERROR 0.15",
+  };
+  std::vector<Value> mirror(n);
+  for (NodeId u = 0; u < n; ++u) {
+    mirror[u] = static_cast<Value>((u * 41) % (kBound + 1));
+  }
+
+  const auto build = [&](bool with_cube, sim::Network& net,
+                         const net::SpanningTree& tree) {
+    ServiceConfig cfg;
+    cfg.threads = threads;
+    cfg.share_aggregation = false;
+    cfg.use_cache = false;
+    cfg.use_cube = with_cube;
+    cfg.cube_distinct_registers = 64;  // ERROR 0.15 plans size to 64
+    return QueryService(query::Deployment{net, tree, kBound}, cfg);
+  };
+
+  sim::Network cube_net(net::make_grid(s.distinct_side, s.distinct_side), 9);
+  const net::SpanningTree cube_tree = net::bfs_tree(cube_net.graph(), 0);
+  cube_net.set_one_item_per_node(mirror);
+  QueryService cube_svc = build(true, cube_net, cube_tree);
+
+  sim::Network tree_net(net::make_grid(s.distinct_side, s.distinct_side), 9);
+  const net::SpanningTree tree_tree = net::bfs_tree(tree_net.graph(), 0);
+  tree_net.set_one_item_per_node(mirror);
+  QueryService tree_svc = build(false, tree_net, tree_tree);
+
+  DistinctLane lane;
+  for (const auto& t : texts) {
+    if (!cube_svc.submit(t).ok() || !tree_svc.submit(t).ok()) {
+      std::cerr << "FATAL: distinct-lane admission failed\n";
+      std::exit(1);
+    }
+  }
+  for (std::uint32_t e = 1; e <= s.distinct_epochs; ++e) {
+    std::vector<SensorUpdate> batch;
+    for (NodeId u = e % 5; u < n; u += 5) {
+      const Value v =
+          std::clamp<Value>(mirror[u] + ((u + e) % 2 == 0 ? 4 : -4), 0,
+                            kBound);
+      mirror[u] = v;
+      batch.push_back(SensorUpdate{u, v});
+    }
+    std::vector<SensorUpdate> twin = batch;
+    const auto ca = cube_svc.run_epoch(batch);
+    const auto na = tree_svc.run_epoch(twin);
+    if (ca.size() != na.size()) {
+      std::cerr << "FATAL: distinct answer streams diverged in shape\n";
+      std::exit(1);
+    }
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      ++lane.answers;
+      if (std::bit_cast<std::uint64_t>(ca[i].value) !=
+          std::bit_cast<std::uint64_t>(na[i].value)) {
+        ++lane.mismatches;
+        std::cerr << "distinct mismatch: epoch=" << e
+                  << " cube=" << std::setprecision(17) << ca[i].value
+                  << " tree=" << na[i].value << "\n";
+      }
+    }
+  }
+  lane.cube_bits = cube_net.summary(true).total_bits;
+  lane.tree_bits = tree_net.summary(true).total_bits;
+  return lane;
+}
+
+// ---------------------------------------------------------------------------
+// Report.
+// ---------------------------------------------------------------------------
+struct DeterminismRow {
+  unsigned threads = 0;
+  std::uint64_t checksum = 0;
+};
+
+void write_json(std::ostream& os, const Scale& s, bool quick, unsigned threads,
+                const LaneRun& cube, const LaneRun& naive,
+                std::uint64_t oracle_mismatches,
+                const std::vector<SweepRow>& sweep,
+                const DistinctLane& distinct,
+                const std::vector<DeterminismRow>& det) {
+  const double ratio =
+      cube.total_bits > 0
+          ? static_cast<double>(naive.total_bits) / cube.total_bits
+          : 0.0;
+  bool deterministic = true;
+  for (const auto& row : det) {
+    deterministic = deterministic && row.checksum == det.front().checksum;
+  }
+  const std::uint64_t sweep_mismatches = [&] {
+    std::uint64_t m = 0;
+    for (const auto& r : sweep) m += r.mismatches;
+    return m;
+  }();
+  const std::uint64_t total_mismatches =
+      oracle_mismatches + sweep_mismatches + distinct.mismatches;
+  const service::TelemetrySnapshot& t = cube.telemetry;
+
+  os << "{\n"
+     << "  \"bench\": \"BENCH_PR10\",\n"
+     << "  \"schema_version\": 1,\n"
+     << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"hardware_threads\": " << resolve_thread_count(0) << ",\n"
+     << "  \"cached_range\": {\n"
+     << "    \"nodes\": " << s.grid_side * s.grid_side << ",\n"
+     << "    \"epochs\": " << s.epochs << ",\n"
+     << "    \"continuous_queries\": " << continuous_specs().size() << ",\n"
+     << "    \"bits_cube\": " << cube.total_bits << ",\n"
+     << "    \"bits_tree\": " << naive.total_bits << ",\n"
+     << "    \"bits_ratio\": " << std::setprecision(3) << std::fixed << ratio
+     << ",\n"
+     << "    \"answers\": " << cube.answers.size() << ",\n"
+     << "    \"cube_fresh_answers\": " << t.totals.cube_fresh_answers << ",\n"
+     << "    \"cube_stale_answers\": " << t.totals.cube_stale_answers << ",\n"
+     << "    \"cache_hits\": " << t.totals.cache_hits << ",\n"
+     << "    \"refresh_waves\": " << t.cube.refresh_waves << ",\n"
+     << "    \"residue_waves\": " << t.cube.residue_waves << ",\n"
+     << "    \"cell_edges_descended\": " << t.cube.cell_edges_descended
+     << ",\n"
+     << "    \"cell_edges_skipped\": " << t.cube.cell_edges_skipped << ",\n"
+     << "    \"residue_edges_pruned\": " << t.cube.residue_edges_pruned
+     << ",\n"
+     << "    \"mark_messages\": " << t.mark_messages << "\n"
+     << "  },\n"
+     << "  \"oracle\": {\n"
+     << "    \"exact_answers_compared\": " << [&] {
+          std::uint64_t c = 0;
+          const auto specs = continuous_specs();
+          for (const Answer& a : cube.answers) {
+            if (specs[a.id - 1].error == 0.0) ++c;
+          }
+          return c;
+        }() << ",\n"
+     << "    \"mismatches\": " << oracle_mismatches << ",\n"
+     << "    \"bound_checked\": " << cube.bound_checked << ",\n"
+     << "    \"bound_violations\": " << cube.bound_violations << "\n"
+     << "  },\n"
+     << "  \"region_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    const double reduction =
+        static_cast<double>(r.tree_bits) /
+        static_cast<double>(std::max<std::uint64_t>(1, r.repeat_bits));
+    os << "    {\"lo\": " << r.lo << ", \"hi\": " << r.hi << ", \"width\": "
+       << (r.hi - r.lo + 1) << ", \"first_bits\": " << r.first_bits
+       << ", \"repeat_bits\": " << r.repeat_bits << ", \"tree_bits\": "
+       << r.tree_bits << ", \"warm_reduction\": " << std::setprecision(1)
+       << std::fixed << reduction << "}" << (i + 1 < sweep.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ],\n"
+     << "  \"distinct\": {\n"
+     << "    \"answers\": " << distinct.answers << ",\n"
+     << "    \"mismatches\": " << distinct.mismatches << ",\n"
+     << "    \"bits_cube\": " << distinct.cube_bits << ",\n"
+     << "    \"bits_tree\": " << distinct.tree_bits << "\n"
+     << "  },\n"
+     << "  \"determinism\": [\n";
+  for (std::size_t i = 0; i < det.size(); ++i) {
+    os << "    {\"threads\": " << det[i].threads << ", \"checksum\": \""
+       << std::hex << det[i].checksum << std::dec << "\"}"
+       << (i + 1 < det.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"summary\": {\n"
+     << "    \"bits_ratio\": " << std::setprecision(3) << std::fixed << ratio
+     << ",\n"
+     << "    \"bits_target\": 5.0,\n"
+     << "    \"bits_target_met\": "
+     << (cube.total_bits * 5 <= naive.total_bits ? "true" : "false") << ",\n"
+     << "    \"oracle_mismatches\": " << total_mismatches << ",\n"
+     << "    \"oracle_identical\": "
+     << (total_mismatches == 0 ? "true" : "false") << ",\n"
+     << "    \"bound_violations\": " << cube.bound_violations << ",\n"
+     << "    \"bounds_sound\": "
+     << (cube.bound_violations == 0 ? "true" : "false") << ",\n"
+     << "    \"deterministic_across_thread_counts\": "
+     << (deterministic ? "true" : "false") << "\n"
+     << "  }\n}\n";
+}
+
+}  // namespace
+}  // namespace sensornet::bench
+
+int main(int argc, char** argv) {
+  using namespace sensornet::bench;
+  using sensornet::Value;
+  bool quick = false;
+  std::string out_path = "BENCH_PR10.json";
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: exp_cube [--quick] [--out PATH] [--threads N]\n";
+      return 2;
+    }
+  }
+  const Scale& s = quick ? kQuick : kFull;
+  const unsigned resolved = sensornet::resolve_thread_count(threads);
+
+  std::cout << "EXP multiresolution cube (" << (quick ? "quick" : "full")
+            << ", " << resolved << " worker(s))\n";
+
+  std::cout << "## cached-range bits (" << s.grid_side * s.grid_side
+            << " nodes, " << s.epochs << " epochs)\n";
+  const LaneRun cube = run_cached_lane(s, resolved, /*with_cube=*/true);
+  const LaneRun naive = run_cached_lane(s, resolved, /*with_cube=*/false);
+  const double ratio =
+      cube.total_bits
+          ? static_cast<double>(naive.total_bits) / cube.total_bits
+          : 0.0;
+  std::cout << "  cube: " << cube.total_bits << " bits ("
+            << cube.telemetry.totals.cube_stale_answers << " bracket + "
+            << cube.telemetry.totals.cache_hits << " cached of "
+            << cube.answers.size() << " answers zero-bit)\n"
+            << "  tree: " << naive.total_bits << " bits ("
+            << std::setprecision(2) << std::fixed << ratio << "x)\n";
+
+  const std::uint64_t oracle_mismatches =
+      count_oracle_mismatches(cube, naive);
+  std::cout << "  oracle: " << oracle_mismatches << " mismatch(es), "
+            << cube.bound_violations << "/" << cube.bound_checked
+            << " bound violation(s)\n";
+
+  std::cout << "## region sweep (" << s.sweep_side * s.sweep_side
+            << " nodes)\n";
+  const std::vector<std::pair<Value, Value>> regions = {
+      {0, kBound}, {0, 499}, {500, kBound}, {0, 249}, {250, 499},
+      {0, 300},    {37, 612}, {101, 860},   {600, 700},
+  };
+  std::vector<SweepRow> sweep;
+  for (const auto& [lo, hi] : regions) {
+    sweep.push_back(run_sweep_region(s, lo, hi));
+    const SweepRow& r = sweep.back();
+    std::cout << "  [" << std::setw(4) << r.lo << "," << std::setw(4) << r.hi
+              << "] first=" << std::setw(7) << r.first_bits
+              << " repeat=" << std::setw(6) << r.repeat_bits
+              << " tree=" << std::setw(7) << r.tree_bits << "\n";
+  }
+
+  std::cout << "## distinct identity (" << s.distinct_side * s.distinct_side
+            << " nodes, " << s.distinct_epochs << " epochs)\n";
+  const DistinctLane distinct = run_distinct_lane(s, resolved);
+  std::cout << "  " << distinct.answers << " estimates, "
+            << distinct.mismatches << " mismatch(es)\n";
+
+  std::cout << "## determinism across farm workers\n";
+  std::vector<DeterminismRow> det;
+  for (const unsigned t : {1u, 2u, 8u}) {
+    const LaneRun r = t == resolved
+                          ? cube
+                          : run_cached_lane(s, t, /*with_cube=*/true);
+    det.push_back({t, r.checksum});
+    std::cout << "  threads=" << t << " checksum=" << std::hex << r.checksum
+              << std::dec << "\n";
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  write_json(out, s, quick, resolved, cube, naive, oracle_mismatches, sweep,
+             distinct, det);
+  std::cout << "wrote " << out_path << "\n";
+
+  std::uint64_t sweep_mismatches = 0;
+  for (const auto& r : sweep) sweep_mismatches += r.mismatches;
+  if (oracle_mismatches + sweep_mismatches + distinct.mismatches != 0) {
+    std::cerr << "FATAL: cube answers are not byte-identical to the "
+                 "tree-collected oracle\n";
+    return 1;
+  }
+  if (cube.bound_violations != 0) {
+    std::cerr << "FATAL: " << cube.bound_violations
+              << " bracket-served answer(s) violated their bound\n";
+    return 1;
+  }
+  if (cube.total_bits * 5 > naive.total_bits) {
+    std::cerr << "FATAL: cube shipped " << cube.total_bits << " bits vs "
+              << naive.total_bits << " tree — the 5x claim does not hold\n";
+    return 1;
+  }
+  for (const auto& row : det) {
+    if (row.checksum != det.front().checksum) {
+      std::cerr << "FATAL: answer-stream checksum diverged at " << row.threads
+                << " workers\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -109,49 +109,49 @@ struct Fnv1a {
 // Overlapping continuous-query lane.
 // ---------------------------------------------------------------------------
 struct ContinuousSpec {
-  query::AggKind agg;
+  query::AggregateKind agg;
   Value lo, hi;       // region (0..kBound == whole domain)
   unsigned every;
   double error;       // 0 = exact subscriber
 };
 
 std::vector<ContinuousSpec> continuous_specs() {
-  using query::AggKind;
+  using query::AggregateKind;
   return {
       // Region A: whole domain, epsilon-tolerant mix — the cache's home turf.
-      {AggKind::kCount, 0, kBound, 1, 0.0},
-      {AggKind::kSum, 0, kBound, 1, 0.1},
-      {AggKind::kAvg, 0, kBound, 2, 0.1},
-      {AggKind::kCount, 0, kBound, 2, 0.0},
+      {AggregateKind::kCount, 0, kBound, 1, 0.0},
+      {AggregateKind::kSum, 0, kBound, 1, 0.1},
+      {AggregateKind::kAvg, 0, kBound, 2, 0.1},
+      {AggregateKind::kCount, 0, kBound, 2, 0.0},
       // Region B.
-      {AggKind::kSum, 100, 600, 1, 0.15},
-      {AggKind::kAvg, 100, 600, 1, 0.15},
-      {AggKind::kMin, 100, 600, 2, 0.1},
-      {AggKind::kCount, 100, 600, 2, 0.1},
+      {AggregateKind::kSum, 100, 600, 1, 0.15},
+      {AggregateKind::kAvg, 100, 600, 1, 0.15},
+      {AggregateKind::kMin, 100, 600, 2, 0.1},
+      {AggregateKind::kCount, 100, 600, 2, 0.1},
       // Region C.
-      {AggKind::kMax, 250, 750, 1, 0.1},
-      {AggKind::kMin, 250, 750, 1, 0.1},
-      {AggKind::kSum, 250, 750, 2, 0.2},
-      {AggKind::kAvg, 250, 750, 3, 0.2},
+      {AggregateKind::kMax, 250, 750, 1, 0.1},
+      {AggregateKind::kMin, 250, 750, 1, 0.1},
+      {AggregateKind::kSum, 250, 750, 2, 0.2},
+      {AggregateKind::kAvg, 250, 750, 3, 0.2},
       // Region D: one exact subscriber keeps its whole group honest — the
       // group must collect fresh every epoch it is due.
-      {AggKind::kSum, 400, 900, 1, 0.0},
-      {AggKind::kCount, 400, 900, 1, 0.0},
-      {AggKind::kMax, 400, 900, 2, 0.05},
-      {AggKind::kAvg, 400, 900, 2, 0.1},
+      {AggregateKind::kSum, 400, 900, 1, 0.0},
+      {AggregateKind::kCount, 400, 900, 1, 0.0},
+      {AggregateKind::kMax, 400, 900, 2, 0.05},
+      {AggregateKind::kAvg, 400, 900, 2, 0.1},
   };
 }
 
 std::string spec_text(const ContinuousSpec& s) {
-  using query::AggKind;
+  using query::AggregateKind;
   std::ostringstream os;
   os << "SELECT ";
   switch (s.agg) {
-    case AggKind::kCount: os << "COUNT"; break;
-    case AggKind::kSum: os << "SUM"; break;
-    case AggKind::kAvg: os << "AVG"; break;
-    case AggKind::kMin: os << "MIN"; break;
-    case AggKind::kMax: os << "MAX"; break;
+    case AggregateKind::kCount: os << "COUNT"; break;
+    case AggregateKind::kSum: os << "SUM"; break;
+    case AggregateKind::kAvg: os << "AVG"; break;
+    case AggregateKind::kMin: os << "MIN"; break;
+    case AggregateKind::kMax: os << "MAX"; break;
     default: os << "COUNT"; break;
   }
   os << "(v) FROM s";
@@ -178,12 +178,12 @@ double exact_over(const std::vector<Value>& mirror, const ContinuousSpec& s,
   }
   empty = count == 0;
   switch (s.agg) {
-    case query::AggKind::kCount: return static_cast<double>(count);
-    case query::AggKind::kSum: return static_cast<double>(sum);
-    case query::AggKind::kAvg:
+    case query::AggregateKind::kCount: return static_cast<double>(count);
+    case query::AggregateKind::kSum: return static_cast<double>(sum);
+    case query::AggregateKind::kAvg:
       return empty ? 0.0 : static_cast<double>(sum) / count;
-    case query::AggKind::kMin: return empty ? 0.0 : static_cast<double>(mn);
-    case query::AggKind::kMax: return empty ? 0.0 : static_cast<double>(mx);
+    case query::AggregateKind::kMin: return empty ? 0.0 : static_cast<double>(mn);
+    case query::AggregateKind::kMax: return empty ? 0.0 : static_cast<double>(mx);
     default: return 0.0;
   }
 }

@@ -1,0 +1,187 @@
+// Multiresolution aggregation cube.
+//
+// The cube slices the value domain [0, max_value_bound] into dyadic cells:
+// level l has 2^l cells, cell (l, i) covering
+//
+//   [ floor(i * (B+1) / 2^l),  floor((i+1) * (B+1) / 2^l) - 1 ]
+//
+// so cell boundaries nest (cell (l, i) is exactly the union of its two
+// children (l+1, 2i) and (l+1, 2i+1)) and level 0 is the whole domain. Every
+// cell maintains a per-subtree partial aggregate at each tree node: a
+// PASS-style StatsBundle (COUNT/SUM/MIN/MAX over the cell, its margin-shrunk
+// inner and margin-grown outer companions) and, when configured, an HLL
+// sketch for COUNT_DISTINCT. Partials are kept incrementally fresh by the
+// same coalesced dirty-mark wave the shared-plan scheduler rides
+// (cube::DirtyTracker): a cell refresh descends only into subtrees that
+// changed since the cached partial was taken, so a quiescent network
+// refreshes for free.
+//
+// The planner sees the cube through the query::CubeCatalog interface —
+// geometry plus a deterministic bit-cost model — and decomposes a range
+// query into the fewest covering cells plus *residue* collections for the
+// unaligned ends. A residue collection is a one-shot wave that prunes
+// subtrees provably empty for its range: an edge is skipped when some
+// containing cell's cached partial shows an empty outer region and the
+// dirty tracker proves nothing below changed since — the subtree's items
+// are literally identical, so the prune is exact, not approximate.
+//
+// Answers composed from fresh cells + residues are byte-identical to a
+// whole-tree collection: cell regions partition the query range, stats
+// combine losslessly, and HLL partials replicate the oracle's exact sketch
+// geometry (salt 1, width for node_count+1 ranks), so register-max merges
+// reproduce the oracle's registers bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/cube/dirty.hpp"
+#include "src/cube/stats.hpp"
+#include "src/net/spanning_tree.hpp"
+#include "src/query/aggregate.hpp"
+#include "src/query/plan.hpp"
+#include "src/sim/network.hpp"
+#include "src/sketch/hll.hpp"
+
+namespace sensornet::cube {
+
+struct CubeConfig {
+  /// Resolution levels; the finest level has 2^(levels-1) cells and must
+  /// not out-resolve the domain ((1 << (levels-1)) <= max_value_bound + 1).
+  unsigned levels = 4;
+  /// HLL registers of the COUNT_DISTINCT partials; 0 = stats only.
+  unsigned distinct_registers = 0;
+  /// Drift model: a reading moves by at most this much per epoch.
+  Value max_delta = 4;
+  /// Margin horizon baked into cell bundles (M = horizon * max_delta);
+  /// ranged cells bracket up to this staleness, and the planner amortizes
+  /// refresh costs over it.
+  std::uint32_t horizon_epochs = 8;
+};
+
+/// Cumulative cube telemetry, mirrored into obs gauges after every wave.
+struct CubeStats {
+  std::uint64_t refresh_waves = 0;       // cell refreshes that ran
+  std::uint64_t cell_edges_descended = 0;
+  std::uint64_t cell_edges_skipped = 0;  // served from cached partials
+  std::uint64_t residue_waves = 0;
+  std::uint64_t residue_edges_descended = 0;
+  std::uint64_t residue_edges_pruned = 0;  // subtrees proven empty
+  std::uint64_t fresh_serves = 0;
+  std::uint64_t stale_serves = 0;
+  std::uint64_t geometry_installs = 0;  // lazy one-time broadcast
+};
+
+/// One fresh serve's composition: the exact bundle over the plan's region
+/// at the serve epoch, plus the merged distinct estimate when asked for.
+struct ServeResult {
+  StatsBundle bundle;
+  double distinct_estimate = 0.0;
+  bool has_distinct = false;
+  std::size_t cells_used = 0;
+  std::size_t residues_run = 0;
+};
+
+class Cube final : public query::CubeCatalog {
+ public:
+  /// `dirty` is the shared freshness oracle (typically owned by the
+  /// scheduler); it must outlive the cube, and its note_updates() must run
+  /// each epoch before serves of that epoch.
+  Cube(sim::Network& net, const net::SpanningTree& tree, Value max_value_bound,
+       const DirtyTracker& dirty, CubeConfig config);
+  ~Cube() override;
+
+  Cube(const Cube&) = delete;
+  Cube& operator=(const Cube&) = delete;
+
+  // ---- query::CubeCatalog (the planner's window) -------------------------
+  unsigned levels() const override { return config_.levels; }
+  Value domain_bound() const override { return max_value_bound_; }
+  query::RegionSignature cell_region(query::CubeCellRef ref) const override;
+  unsigned distinct_registers() const override {
+    return config_.distinct_registers;
+  }
+  std::uint64_t cell_refresh_bits(query::CubeCellRef ref) const override;
+  std::uint64_t residue_collect_bits(
+      const query::RegionSignature& region) const override;
+  std::uint64_t tree_collect_bits(
+      const query::RegionSignature& region) const override;
+  std::uint32_t refresh_amortization() const override {
+    return config_.horizon_epochs;
+  }
+
+  // ---- serving -----------------------------------------------------------
+  /// Executes the plan's steps at `epoch`: brings each cube-cell step's cell
+  /// up to the epoch (incremental descent), runs pruned residue collections
+  /// for the rest, and composes the exact bundle (plus the HLL estimate for
+  /// approx-distinct plans). The first serve pays a one-time geometry
+  /// install broadcast.
+  ServeResult serve(const query::CostedPlan& plan, std::uint32_t epoch);
+
+  /// Zero-bit serve attempt: composes per-cell drift brackets at each
+  /// cell's own staleness. Returns nullopt when the plan has non-cell steps,
+  /// a cell was never refreshed, a ranged cell is staler than the horizon,
+  /// or the aggregate is not bracketable from stats bundles.
+  std::optional<BracketedAnswer> stale_bracket(const query::CostedPlan& plan,
+                                               query::AggregateKind agg,
+                                               std::uint32_t now_epoch) const;
+
+  const CubeStats& stats() const { return stats_; }
+  std::size_t cell_count() const { return cells_.size(); }
+  /// Row-major cell numbering: level 0 first, 2^l cells per level.
+  static std::size_t cell_ordinal(query::CubeCellRef ref) {
+    return ((std::size_t{1} << ref.level) - 1) + ref.index;
+  }
+
+ private:
+  struct CellState;
+  class RefreshWave;
+  class ResidueWave;
+
+  CellState& cell(query::CubeCellRef ref);
+  const CellState& cell(query::CubeCellRef ref) const;
+  /// Node-local bundle over `region` with the cube's margins.
+  StatsBundle local_bundle(NodeId node, const query::RegionSignature& region)
+      const;
+  /// Node-local HLL over `region` in the oracle's exact sketch geometry.
+  sketch::Hll local_hll(NodeId node, const query::RegionSignature& region)
+      const;
+  sketch::Hll empty_hll() const;
+  /// True when the cached cell partials prove the subtree below
+  /// (node, child ci) holds nothing relevant to `region` — exact, because
+  /// the dirty tracker certifies the subtree is unchanged since the proof.
+  bool subtree_provably_empty(NodeId node, std::size_t ci,
+                              const query::RegionSignature& region) const;
+  void ensure_geometry_installed();
+  /// Incremental refresh of one cell to `epoch`; no-op when already there.
+  void refresh_cell(CellState& c, std::uint32_t epoch);
+  /// One-shot pruned collection; fills `hll` when it is non-null.
+  StatsBundle collect_range(const query::RegionSignature& region,
+                            std::optional<sketch::Hll>* hll);
+  void mirror_stats() const;
+
+  /// Estimated wire bits of one descend-and-respond edge for a region
+  /// (request + response, headers included).
+  std::uint64_t edge_cost_bits(bool whole_domain, bool carries_region) const;
+  std::uint64_t count_stale_edges(const CellState& c, NodeId node) const;
+  std::uint64_t count_residue_edges(NodeId node,
+                                    const query::RegionSignature& region)
+      const;
+
+  sim::Network& net_;
+  const net::SpanningTree& tree_;
+  Value max_value_bound_;
+  const DirtyTracker& dirty_;
+  CubeConfig config_;
+  std::uint8_t hll_width_;  // packed rank width: the oracle's geometry
+  bool geometry_installed_ = false;
+  std::vector<std::unique_ptr<CellState>> cells_;  // by cell_ordinal
+  std::uint32_t next_residue_session_;
+  // Telemetry, not state: the zero-bit stale path counts from const context.
+  mutable CubeStats stats_;
+};
+
+}  // namespace sensornet::cube

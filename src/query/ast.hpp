@@ -16,21 +16,9 @@
 #include <string>
 
 #include "src/common/types.hpp"
+#include "src/query/aggregate.hpp"
 
 namespace sensornet::query {
-
-enum class AggKind {
-  kMin,
-  kMax,
-  kCount,
-  kSum,
-  kAvg,
-  kMedian,
-  kQuantile,        // QUANTILE(attr, phi) with phi in (0,1)
-  kCountDistinct,
-};
-
-const char* agg_name(AggKind k);
 
 struct Condition {
   enum class Cmp { kLt, kLe, kGt, kGe, kBetween };
@@ -43,7 +31,7 @@ struct Condition {
 };
 
 struct Query {
-  AggKind agg = AggKind::kCount;
+  AggregateKind agg = AggregateKind::kCount;
   std::string attribute;          // e.g. "temp" (one attribute per node)
   double quantile_phi = 0.5;      // only for kQuantile
   std::optional<Condition> where;

@@ -14,6 +14,7 @@
 #include "src/proto/counting_service.hpp"
 #include "src/proto/tree_broadcast.hpp"
 #include "src/proto/tree_wave.hpp"
+#include "src/query/lexer.hpp"
 #include "src/query/parser.hpp"
 #include "src/sketch/hll.hpp"
 
@@ -91,10 +92,13 @@ void Executor::install_filter(const std::optional<Condition>& cond) {
 
 QueryResult Executor::run(const std::string& text) {
   const Query q = parse_query(text);
-  return run(q, plan_query(q));
+  const Planner planner(deployment_.max_value_bound);
+  Result<CostedPlan> planned = planner.plan(q);
+  if (!planned.ok()) throw QueryError(planned.error(), 0);
+  return run(q, planned.value());
 }
 
-QueryResult Executor::run(const Query& q, const Plan& plan) {
+QueryResult Executor::run(const Query& q, const CostedPlan& plan) {
   sim::Network& net = deployment_.net;
   const auto before = net.all_stats();
   const SimTime t0 = net.now();
@@ -108,28 +112,28 @@ QueryResult Executor::run(const Query& q, const Plan& plan) {
     case Strategy::kPrimitiveWave: {
       proto::TreeCountingService svc(net, deployment_.tree, *view_);
       switch (q.agg) {
-        case AggKind::kMin: {
+        case AggregateKind::kMin: {
           const auto v = svc.min_value();
           if (!v) throw PreconditionError("MIN over an empty selection");
           res.value = static_cast<double>(*v);
           break;
         }
-        case AggKind::kMax: {
+        case AggregateKind::kMax: {
           const auto v = svc.max_value();
           if (!v) throw PreconditionError("MAX over an empty selection");
           res.value = static_cast<double>(*v);
           break;
         }
-        case AggKind::kCount:
+        case AggregateKind::kCount:
           res.value = static_cast<double>(svc.count_all());
           break;
-        case AggKind::kSum:
-        case AggKind::kAvg: {
+        case AggregateKind::kSum:
+        case AggregateKind::kAvg: {
           proto::TreeWave<proto::SumAgg> wave(deployment_.tree, 0x6800,
                                               *view_);
           const auto sum = wave.execute(
               net, proto::SumAgg::Request{proto::Predicate::always_true()});
-          if (q.agg == AggKind::kSum) {
+          if (q.agg == AggregateKind::kSum) {
             res.value = static_cast<double>(sum);
           } else {
             const std::uint64_t n = svc.count_all();
@@ -165,7 +169,7 @@ QueryResult Executor::run(const Query& q, const Plan& plan) {
       proto::TreeWave<proto::LogLogAgg> wave(deployment_.tree, 0x6900,
                                              *view_);
       const double sum = wave.execute(net, req).estimate();
-      if (q.agg == AggKind::kSum) {
+      if (q.agg == AggregateKind::kSum) {
         res.value = sum;
       } else {
         proto::ApxCountConfig cfg;
@@ -184,7 +188,7 @@ QueryResult Executor::run(const Query& q, const Plan& plan) {
       proto::TreeCountingService svc(net, deployment_.tree, *view_);
       const std::uint64_t n = svc.count_all();
       if (n == 0) throw PreconditionError("selection over an empty input");
-      const double phi = q.agg == AggKind::kQuantile ? q.quantile_phi : 0.5;
+      const double phi = q.agg == AggregateKind::kQuantile ? q.quantile_phi : 0.5;
       auto twice_k = static_cast<std::int64_t>(
           std::llround(2.0 * phi * static_cast<double>(n)));
       twice_k = std::clamp<std::int64_t>(twice_k, 1,
@@ -200,7 +204,7 @@ QueryResult Executor::run(const Query& q, const Plan& plan) {
       params.epsilon = plan.epsilon;
       params.registers = plan.registers;
       params.max_value_bound = deployment_.max_value_bound;
-      params.rank_phi = q.agg == AggKind::kQuantile ? q.quantile_phi : 0.5;
+      params.rank_phi = q.agg == AggregateKind::kQuantile ? q.quantile_phi : 0.5;
       // The proof schedule's repetition counts are sized for adversarial
       // inputs; interactive queries run a toned-down schedule and surface
       // the trade in the plan line.

@@ -45,11 +45,14 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  /// Parse, plan and run one query.
+  /// Parse, plan and run one query (planned without a cube catalog: the
+  /// one-shot executor always collects over the tree).
   QueryResult run(const std::string& text);
 
-  /// Run an already-parsed query under an explicit plan.
-  QueryResult run(const Query& q, const Plan& plan);
+  /// Run an already-parsed query under an explicit plan. The executor
+  /// consumes the plan's strategy knobs and ignores its step program —
+  /// it IS the tree-collect fallback every plan can degrade to.
+  QueryResult run(const Query& q, const CostedPlan& plan);
 
  private:
   class FilterView;

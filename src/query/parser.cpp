@@ -8,20 +8,6 @@
 
 namespace sensornet::query {
 
-const char* agg_name(AggKind k) {
-  switch (k) {
-    case AggKind::kMin: return "MIN";
-    case AggKind::kMax: return "MAX";
-    case AggKind::kCount: return "COUNT";
-    case AggKind::kSum: return "SUM";
-    case AggKind::kAvg: return "AVG";
-    case AggKind::kMedian: return "MEDIAN";
-    case AggKind::kQuantile: return "QUANTILE";
-    case AggKind::kCountDistinct: return "COUNT_DISTINCT";
-  }
-  return "?";
-}
-
 namespace {
 
 std::string upper(std::string s) {
@@ -122,14 +108,14 @@ class Parser {
   void parse_aggregate(Query& q) {
     expect(TokenKind::kIdent, "aggregate name");
     const std::string name = upper(current().text);
-    if (name == "MIN") q.agg = AggKind::kMin;
-    else if (name == "MAX") q.agg = AggKind::kMax;
-    else if (name == "COUNT") q.agg = AggKind::kCount;
-    else if (name == "SUM") q.agg = AggKind::kSum;
-    else if (name == "AVG") q.agg = AggKind::kAvg;
-    else if (name == "MEDIAN") q.agg = AggKind::kMedian;
-    else if (name == "QUANTILE") q.agg = AggKind::kQuantile;
-    else if (name == "COUNT_DISTINCT") q.agg = AggKind::kCountDistinct;
+    if (name == "MIN") q.agg = AggregateKind::kMin;
+    else if (name == "MAX") q.agg = AggregateKind::kMax;
+    else if (name == "COUNT") q.agg = AggregateKind::kCount;
+    else if (name == "SUM") q.agg = AggregateKind::kSum;
+    else if (name == "AVG") q.agg = AggregateKind::kAvg;
+    else if (name == "MEDIAN") q.agg = AggregateKind::kMedian;
+    else if (name == "QUANTILE") q.agg = AggregateKind::kQuantile;
+    else if (name == "COUNT_DISTINCT") q.agg = AggregateKind::kCountDistinct;
     else throw QueryError("unknown aggregate '" + current().text + "'",
                           current().position);
     advance();
@@ -141,7 +127,7 @@ class Parser {
     expect(TokenKind::kIdent, "attribute name");
     q.attribute = current().text;
     advance();
-    if (q.agg == AggKind::kQuantile) {
+    if (q.agg == AggregateKind::kQuantile) {
       if (current().kind != TokenKind::kComma) {
         throw QueryError("QUANTILE needs a rank fraction", current().position);
       }

@@ -1,0 +1,52 @@
+#include "src/query/plan.hpp"
+
+#include <algorithm>
+
+namespace sensornet::query {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kPrimitiveWave: return "primitive-wave";
+    case Strategy::kApproxCount: return "approx-count(loglog)";
+    case Strategy::kApproxSum: return "approx-sum(odi-sketch)";
+    case Strategy::kExactSelection: return "exact-selection(fig1)";
+    case Strategy::kApproxSelection: return "approx-selection(fig4)";
+    case Strategy::kExactDistinct: return "exact-distinct(set-union)";
+    case Strategy::kApproxDistinct: return "approx-distinct(hashed-loglog)";
+  }
+  return "?";
+}
+
+const char* step_kind_name(StepKind k) {
+  switch (k) {
+    case StepKind::kCubeCell: return "cube-cell";
+    case StepKind::kResidueCollect: return "residue-collect";
+    case StepKind::kTreeCollect: return "tree-collect";
+  }
+  return "?";
+}
+
+std::string PlanStep::describe() const {
+  std::string s = step_kind_name(kind);
+  if (kind == StepKind::kCubeCell) {
+    s += "(L";
+    s += std::to_string(cell.level);
+    s += '.';
+    s += std::to_string(cell.index);
+    s += ')';
+  }
+  s += '[';
+  s += std::to_string(region.lo);
+  s += ',';
+  s += std::to_string(region.hi);
+  s += ']';
+  return s;
+}
+
+bool CostedPlan::cube_served() const {
+  return std::any_of(steps.begin(), steps.end(), [](const PlanStep& s) {
+    return s.kind != StepKind::kTreeCollect;
+  });
+}
+
+}  // namespace sensornet::query

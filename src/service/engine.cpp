@@ -27,31 +27,18 @@ CostDelta cost_since(const sim::Network& net, const sim::CommSummary& before) {
                    after.total_messages - before.total_messages};
 }
 
-bool is_stats_agg(query::AggKind k) {
-  switch (k) {
-    case query::AggKind::kCount:
-    case query::AggKind::kSum:
-    case query::AggKind::kAvg:
-    case query::AggKind::kMin:
-    case query::AggKind::kMax:
-      return true;
-    default:
-      return false;
-  }
-}
-
 /// Exact answer for a stats aggregate from a freshly collected bundle.
-Answer bundle_answer(query::AggKind agg, const StatsBundle& b) {
+Answer bundle_answer(query::AggregateKind agg, const StatsBundle& b) {
   Answer a;
   const RangeStats& core = b.core;
   switch (agg) {
-    case query::AggKind::kCount:
+    case query::AggregateKind::kCount:
       a.value = static_cast<double>(core.count);
       break;
-    case query::AggKind::kSum:
+    case query::AggregateKind::kSum:
       a.value = static_cast<double>(core.sum);
       break;
-    case query::AggKind::kAvg:
+    case query::AggregateKind::kAvg:
       if (core.count == 0) {
         a.empty_selection = true;
       } else {
@@ -59,14 +46,14 @@ Answer bundle_answer(query::AggKind agg, const StatsBundle& b) {
                   static_cast<double>(core.count);
       }
       break;
-    case query::AggKind::kMin:
+    case query::AggregateKind::kMin:
       if (core.count == 0) {
         a.empty_selection = true;
       } else {
         a.value = static_cast<double>(core.min);
       }
       break;
-    case query::AggKind::kMax:
+    case query::AggregateKind::kMax:
       if (core.count == 0) {
         a.empty_selection = true;
       } else {
@@ -80,6 +67,15 @@ Answer bundle_answer(query::AggKind agg, const StatsBundle& b) {
   return a;
 }
 
+cube::CubeConfig cube_config_from(const ServiceConfig& c) {
+  cube::CubeConfig cc;
+  cc.levels = c.cube_levels;
+  cc.distinct_registers = c.cube_distinct_registers;
+  cc.max_delta = c.max_delta;
+  cc.horizon_epochs = c.cache_horizon_epochs;
+  return cc;
+}
+
 }  // namespace
 
 QueryService::QueryService(query::Deployment deployment, ServiceConfig config)
@@ -89,6 +85,13 @@ QueryService::QueryService(query::Deployment deployment, ServiceConfig config)
       scheduler_(std::make_unique<SharedPlanScheduler>(
           deployment.net, deployment.tree, deployment.max_value_bound,
           config.max_delta, config.cache_horizon_epochs)),
+      cube_(config.use_cube
+                ? std::make_unique<cube::Cube>(
+                      deployment.net, deployment.tree,
+                      deployment.max_value_bound, scheduler_->dirty(),
+                      cube_config_from(config))
+                : nullptr),
+      planner_(deployment.max_value_bound, cube_.get()),
       cache_(deployment.max_value_bound, config.max_delta,
              config.cache_horizon_epochs, config.cache_capacity),
       farm_(config.threads),
@@ -104,13 +107,18 @@ QueryService::ParsedQuery QueryService::parse_and_plan(
   ParsedQuery out;
   try {
     out.q = query::parse_query(text);
-    out.plan = query::plan_query(out.q);
-    out.region =
-        query::region_signature(out.q, deployment_.max_value_bound);
-    out.ok = true;
   } catch (const query::QueryError& e) {
     out.error = e.what();
+    return out;
   }
+  Result<query::CostedPlan> planned = planner_.plan(out.q);
+  if (!planned.ok()) {
+    out.error = planned.error();
+    return out;
+  }
+  out.plan = std::move(planned).value();
+  out.region = out.plan.region;
+  out.ok = true;
   return out;
 }
 
@@ -154,10 +162,15 @@ Admission QueryService::admit(ParsedQuery&& parsed) {
   adm.id = lq.id;
   adm.continuous = lq.every != 0;
 
-  if (!config_.share_aggregation) {
+  const bool stats_family =
+      query::family(lq.q.agg) == query::AggregateFamily::kStats;
+  if (!config_.share_aggregation && !config_.use_cube) {
     lq.path = Path::kExecutor;
     adm.plan = "naive: " + lq.plan.description;
-  } else if (is_stats_agg(lq.q.agg)) {
+  } else if (config_.use_cube && planner_.cube_eligible(lq.plan)) {
+    lq.path = Path::kCube;
+    adm.plan = "cube: " + lq.plan.description;
+  } else if (config_.share_aggregation && stats_family) {
     lq.path = Path::kStats;
     const auto before = deployment_.net.summary(true);
     lq.group = scheduler_->ensure_stats_group(lq.region);
@@ -165,7 +178,8 @@ Admission QueryService::admit(ParsedQuery&& parsed) {
     group_costs_[lq.group].bits_on_air += d.bits;
     group_costs_[lq.group].messages += d.messages;
     adm.plan = "shared stats bundle, group " + std::to_string(lq.group);
-  } else if (lq.q.agg == query::AggKind::kCountDistinct) {
+  } else if (config_.share_aggregation &&
+             lq.q.agg == query::AggregateKind::kCountDistinct) {
     lq.path = Path::kDistinct;
     const unsigned registers =
         lq.plan.strategy == query::Strategy::kApproxDistinct
@@ -190,6 +204,8 @@ Admission QueryService::admit(ParsedQuery&& parsed) {
 
   if (adm.continuous) {
     live_.emplace(lq.id, std::move(lq));
+  } else if (lq.path == Path::kCube) {
+    adm.answer = serve_cube(lq);
   } else {
     // Single cache interrogation per serve: a lookup() hit is always
     // consumed, so the cache's hit counter equals answers served from it.
@@ -242,6 +258,95 @@ Answer QueryService::answer_cached(const LiveQuery& lq,
   return a;
 }
 
+Answer QueryService::serve_cube(const LiveQuery& lq) {
+  // Tier 1: the region-keyed result cache (stats aggregates only) — a prior
+  // cube serve stored the composed bundle, so repeats within the drift
+  // tolerance are free.
+  const bool stats_family =
+      query::family(lq.q.agg) == query::AggregateFamily::kStats;
+  if (config_.use_cache && stats_family) {
+    if (const auto hit =
+            cache_.lookup(lq.region, lq.q.agg, lq.q.error, epoch_)) {
+      return answer_cached(lq, *hit);
+    }
+  }
+
+  // Re-plan so the cover reflects the cube's current freshness: a cell
+  // refreshed for another query this epoch is free to reuse now.
+  Result<query::CostedPlan> replanned = planner_.plan(lq.q);
+  SENSORNET_EXPECTS(replanned.ok());  // admitted queries stay plannable
+  const query::CostedPlan plan = std::move(replanned).value();
+
+  // Tier 2: per-cell drift brackets — zero bits when every step is a
+  // maintained cell and the composed bound fits the query's tolerance.
+  if (stats_family) {
+    if (const auto br = cube_->stale_bracket(plan, lq.q.agg, epoch_)) {
+      const double tolerance =
+          lq.q.error ? *lq.q.error * std::max(1.0, std::abs(br->value)) : 0.0;
+      if (br->bound <= tolerance) {
+        Answer a;
+        a.id = lq.id;
+        a.epoch = epoch_;
+        a.value = br->value;
+        a.error_bound = br->bound;
+        a.exact = br->exact;
+        ++telemetry_.answers;
+        ++telemetry_.cube_stale_answers;
+        QueryCost& qc = query_costs_[lq.id];
+        ++qc.answers;
+        ++qc.cube_stale;
+        qc.bound_slack += tolerance - br->bound;
+        obs::TraceRing& ring = obs::TraceRing::global();
+        if (ring.enabled()) {
+          ring.instant("query.answer", "service", deployment_.net.now(), 0,
+                       "id", lq.id, "cube_stale", 1);
+        }
+        return a;
+      }
+    }
+  }
+
+  // Tier 3: fresh cube serve — refresh the cover's cells (incremental
+  // descent), run pruned residues, compose.
+  const auto before = deployment_.net.summary(true);
+  const cube::ServeResult r = cube_->serve(plan, epoch_);
+  Answer a;
+  if (lq.q.agg == query::AggregateKind::kCountDistinct) {
+    SENSORNET_EXPECTS(r.has_distinct);
+    a.value = r.distinct_estimate;
+    a.exact = false;
+  } else {
+    a = bundle_answer(lq.q.agg, r.bundle);
+  }
+  a.id = lq.id;
+  a.epoch = epoch_;
+  // The composed bundle brackets the whole region (cell inners nest inside
+  // the region's inner; cell outers cover its outer), so it is storable
+  // under the cache's drift model like any collected bundle.
+  if (config_.use_cache && stats_family &&
+      std::find(cube_stored_this_epoch_.begin(), cube_stored_this_epoch_.end(),
+                lq.region) == cube_stored_this_epoch_.end()) {
+    cache_.store(lq.region, epoch_, r.bundle);
+    cube_stored_this_epoch_.push_back(lq.region);
+  }
+  ++telemetry_.answers;
+  ++telemetry_.cube_fresh_answers;
+
+  const CostDelta d = cost_since(deployment_.net, before);
+  QueryCost& qc = query_costs_[lq.id];
+  ++qc.answers;
+  ++qc.fresh;
+  qc.bits_on_air += d.bits;
+  qc.messages += d.messages;
+
+  obs::TraceRing& ring = obs::TraceRing::global();
+  if (ring.enabled()) {
+    ring.instant("query.answer", "service", deployment_.net.now(), 0, "id",
+                 lq.id, "cube_fresh", 1);
+  }
+  return a;
+}
+
 Answer QueryService::answer_fresh(const LiveQuery& lq) {
   const auto before = deployment_.net.summary(true);
   const SharedPlanStats waves_before = scheduler_->stats();
@@ -265,6 +370,8 @@ Answer QueryService::answer_fresh(const LiveQuery& lq) {
       ++telemetry_.distinct_answers;
       break;
     }
+    case Path::kCube:
+      throw PreconditionError("cube path is served by serve_cube()");
     case Path::kExecutor: {
       const query::QueryResult r = executor_.run(lq.q, lq.plan);
       a.value = r.value;
@@ -286,7 +393,7 @@ Answer QueryService::answer_fresh(const LiveQuery& lq) {
   ++qc.fresh;
   qc.bits_on_air += d.bits;
   qc.messages += d.messages;
-  if (lq.path != Path::kExecutor) {
+  if (lq.path == Path::kStats || lq.path == Path::kDistinct) {
     const SharedPlanStats waves_after = scheduler_->stats();
     GroupCost& gc = group_costs_[lq.group];
     gc.bits_on_air += d.bits;
@@ -308,6 +415,7 @@ std::vector<Answer> QueryService::run_epoch(
     std::span<const SensorUpdate> updates) {
   ++epoch_;
   stored_this_epoch_.clear();
+  cube_stored_this_epoch_.clear();
   const SimTime epoch_t0 = deployment_.net.now();
 
   // Apply the batch under the drift model the cache's soundness rests on.
@@ -329,9 +437,10 @@ std::vector<Answer> QueryService::run_epoch(
     touched.push_back(u.node);
     ++telemetry_.updates_applied;
   }
-  if (config_.share_aggregation) {
-    // The mark wave serves every group at once; no single query caused it,
-    // so its bits land in the service-level bucket.
+  if (config_.share_aggregation || config_.use_cube) {
+    // The mark wave serves every incremental consumer at once (shared
+    // groups and cube cells ride the same marks); no single query caused
+    // it, so its bits land in the service-level bucket.
     const auto before = deployment_.net.summary(true);
     scheduler_->note_updates(touched, epoch_);
     const CostDelta d = cost_since(deployment_.net, before);
@@ -358,6 +467,10 @@ std::vector<Answer> QueryService::run_epoch(
   std::vector<Answer> answers;
   for (const auto& [id, lq] : live_) {  // map order == id order
     if (!is_due(lq)) continue;
+    if (lq.path == Path::kCube) {
+      answers.push_back(serve_cube(lq));
+      continue;
+    }
     const bool cacheable =
         lq.path == Path::kStats && config_.share_aggregation &&
         config_.use_cache &&
@@ -388,12 +501,13 @@ TelemetrySnapshot QueryService::telemetry_snapshot() const {
   snap.totals = telemetry_;
   snap.cache = cache_.counters();
   snap.plan = scheduler_->stats();
+  if (cube_) snap.cube = cube_->stats();
   snap.mark_bits_on_air = mark_bits_on_air_;
   snap.mark_messages = mark_messages_;
   snap.queries = query_costs_;
   snap.groups = group_costs_;
   for (const auto& [id, lq] : live_) {
-    if (lq.path == Path::kExecutor) continue;
+    if (lq.path == Path::kExecutor || lq.path == Path::kCube) continue;
     ++snap.groups[lq.group].subscribers;
   }
   return snap;

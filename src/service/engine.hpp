@@ -4,7 +4,7 @@
 // time, paying a full tree aggregation per question. The service is the
 // multi-tenant layer on top: clients register one-shot and continuous
 // (`EVERY n EPOCHS`) queries, sensor updates arrive in per-epoch batches,
-// and due queries are answered each epoch with three cost levers:
+// and due queries are answered each epoch with four cost levers:
 //
 //   1. Shared aggregation — live queries are grouped by (region, aggregate
 //      family); one spanning-tree collection per epoch serves every
@@ -16,6 +16,11 @@
 //      answered from a stale stats bundle when the deterministic drift
 //      bound (staleness x max_delta, see result_cache.hpp) fits its
 //      epsilon: zero bits on the air.
+//   4. Multiresolution cube — with use_cube on, cube-eligible queries route
+//      through cube::Cube: the planner decomposes the region into the
+//      bit-cheapest mix of maintained cube cells and residue collections,
+//      and a serve tries (a) the result cache, (b) per-cell drift brackets
+//      at zero bits, (c) a fresh cube serve, in that order.
 //
 // Concurrency model: submit_batch() parses, plans and canonicalizes regions
 // on a deterministic work-stealing farm (pure, per-cell work); everything
@@ -35,6 +40,7 @@
 #include "src/common/result.hpp"
 #include "src/common/trial_farm.hpp"
 #include "src/common/types.hpp"
+#include "src/cube/cube.hpp"
 #include "src/query/executor.hpp"
 #include "src/query/planner.hpp"
 #include "src/service/result_cache.hpp"
@@ -56,8 +62,17 @@ struct ServiceConfig {
   /// Off = the naive baseline: every due query re-runs the one-shot
   /// executor, no marks, no cache. The bench's comparator.
   bool share_aggregation = true;
-  /// Cache applies to the shared stats path only.
+  /// Cache applies to the shared stats path and the cube path.
   bool use_cache = true;
+  /// Route cube-eligible queries through the multiresolution cube. Off by
+  /// default: the cube pays cell-refresh bits, which only amortize under a
+  /// range-query workload.
+  bool use_cube = false;
+  /// Cube resolution levels (see cube::CubeConfig::levels).
+  unsigned cube_levels = 4;
+  /// HLL registers of the cube's COUNT_DISTINCT partials; 0 = stats only,
+  /// and approximate-distinct queries fall back to their shared group.
+  unsigned cube_distinct_registers = 0;
   /// Workers for submit_batch's parse/plan stage; 0 = hardware concurrency.
   unsigned threads = 1;
 };
@@ -98,6 +113,10 @@ struct ServiceTelemetry {
   std::uint64_t fresh_stats_answers = 0;
   std::uint64_t distinct_answers = 0;
   std::uint64_t executor_runs = 0;
+  /// Cube-path serves: fresh (cells refreshed / residues run) vs stale
+  /// (zero-bit per-cell drift brackets that met the tolerance).
+  std::uint64_t cube_fresh_answers = 0;
+  std::uint64_t cube_stale_answers = 0;
   std::uint64_t updates_applied = 0;
 };
 
@@ -109,6 +128,7 @@ struct ServiceTelemetry {
 struct QueryCost {
   std::uint64_t answers = 0;
   std::uint64_t cache_hits = 0;    // answered from the result cache
+  std::uint64_t cube_stale = 0;    // answered from cube cell brackets
   std::uint64_t fresh = 0;         // answered by a collection / executor run
   std::uint64_t bits_on_air = 0;   // payload + header bits this query caused
   std::uint64_t messages = 0;
@@ -132,6 +152,8 @@ struct TelemetrySnapshot {
   ServiceTelemetry totals;
   CacheCounters cache;
   SharedPlanStats plan;
+  /// Cube-side telemetry (all zero when use_cube is off).
+  cube::CubeStats cube;
   /// Dirty-mark propagation is a service-level cost: no single query causes
   /// an update batch, so the mark wave's bits live here, not in QueryCost.
   std::uint64_t mark_bits_on_air = 0;
@@ -176,10 +198,14 @@ class QueryService {
   const ServiceTelemetry& telemetry() const { return telemetry_; }
   const SharedPlanStats& plan_stats() const { return scheduler_->stats(); }
   const ResultCache& cache() const { return cache_; }
+  /// Null when use_cube is off.
+  const cube::Cube* cube() const { return cube_.get(); }
+  const query::Planner& planner() const { return planner_; }
 
   /// Assembles the full cost-attribution view: totals, cache outcome
-  /// counters, scheduler stats, the service-level mark-wave bucket, and the
-  /// per-query / per-group cost ledgers (with live subscriber counts).
+  /// counters, scheduler stats, cube stats, the service-level mark-wave
+  /// bucket, and the per-query / per-group cost ledgers (with live
+  /// subscriber counts).
   TelemetrySnapshot telemetry_snapshot() const;
 
  private:
@@ -187,13 +213,14 @@ class QueryService {
   enum class Path {
     kStats,     // shared stats-bundle group + result cache
     kDistinct,  // shared distinct group
+    kCube,      // multiresolution cube cover (cache -> brackets -> fresh)
     kExecutor,  // per-query one-shot executor (median/quantile, naive mode)
   };
 
   struct LiveQuery {
     QueryId id = 0;
     query::Query q;
-    query::Plan plan;
+    query::CostedPlan plan;
     query::RegionSignature region;
     Path path = Path::kExecutor;
     GroupId group = 0;  // kStats/kDistinct only
@@ -206,7 +233,7 @@ class QueryService {
     bool ok = false;
     std::string error;
     query::Query q;
-    query::Plan plan;
+    query::CostedPlan plan;
     query::RegionSignature region;
   };
 
@@ -216,12 +243,20 @@ class QueryService {
   /// Serves a lookup() hit the caller already holds — the cache is asked
   /// exactly once per serve, so its hit counter matches answers served.
   Answer answer_cached(const LiveQuery& lq, const CachedAnswer& hit);
+  /// The cube path's three-tier serve: result cache, then zero-bit per-cell
+  /// drift brackets, then a fresh cube serve under a re-costed plan.
+  Answer serve_cube(const LiveQuery& lq);
   bool cache_could_serve(const LiveQuery& lq) const;
 
   query::Deployment deployment_;
   ServiceConfig config_;
   query::Executor executor_;
   std::unique_ptr<SharedPlanScheduler> scheduler_;
+  /// Built over the scheduler's DirtyTracker (one mark wave feeds both);
+  /// null when use_cube is off.
+  std::unique_ptr<cube::Cube> cube_;
+  /// Catalog-aware planner; all admissions and cube re-plans go through it.
+  query::Planner planner_;
   ResultCache cache_;
   TrialFarm farm_;
 
@@ -231,6 +266,9 @@ class QueryService {
   std::vector<std::uint32_t> last_update_epoch_;  // per node, 0 = never
   /// Stats groups already collected-and-stored this epoch (store-once guard).
   std::vector<GroupId> stored_this_epoch_;
+  /// Regions already stored by the cube path this epoch (its store-once
+  /// guard — cube serves have no group id).
+  std::vector<query::RegionSignature> cube_stored_this_epoch_;
   ServiceTelemetry telemetry_;
 
   // ---- cost attribution ledgers (see TelemetrySnapshot) -----------------

@@ -7,35 +7,6 @@
 
 namespace sensornet::service {
 
-void RangeStats::observe(Value v) {
-  if (count == 0) {
-    min = max = v;
-  } else {
-    min = std::min(min, v);
-    max = std::max(max, v);
-  }
-  count += 1;
-  sum += static_cast<std::uint64_t>(v);
-}
-
-void RangeStats::combine(const RangeStats& other) {
-  if (other.count == 0) return;
-  if (count == 0) {
-    *this = other;
-    return;
-  }
-  count += other.count;
-  sum += other.sum;
-  min = std::min(min, other.min);
-  max = std::max(max, other.max);
-}
-
-void StatsBundle::combine(const StatsBundle& other) {
-  core.combine(other.core);
-  inner.combine(other.inner);
-  outer.combine(other.outer);
-}
-
 ResultCache::ResultCache(Value max_value_bound, Value max_delta,
                          std::uint32_t horizon_epochs, std::size_t capacity)
     : max_value_bound_(max_value_bound),
@@ -63,7 +34,7 @@ void ResultCache::store(const query::RegionSignature& region,
 }
 
 std::optional<CachedAnswer> ResultCache::bracket(
-    const query::RegionSignature& region, query::AggKind agg,
+    const query::RegionSignature& region, query::AggregateKind agg,
     std::uint32_t now_epoch) const {
   const auto it = entries_.find(region);
   if (it == entries_.end()) return std::nullopt;
@@ -76,98 +47,49 @@ std::optional<CachedAnswer> ResultCache::bracket(
   const double d =
       static_cast<double>(staleness) * static_cast<double>(max_delta_);
   const StatsBundle& b = e.bundle;
+  // Whole-domain entries clamp to the full value domain; ranged entries to
+  // their own region (a range aggregate cannot leave its range).
+  const double rail_lo =
+      region.whole_domain ? 0.0 : static_cast<double>(region.lo);
+  const double rail_hi = region.whole_domain
+                             ? static_cast<double>(max_value_bound_)
+                             : static_cast<double>(region.hi);
+  const cube::BundleBracket br =
+      cube::bracket_bundle(b, region.whole_domain, d, rail_lo, rail_hi);
 
-  const auto answer = [](double value, double lo, double hi) {
-    return CachedAnswer{value, std::max(value - lo, hi - value),
-                        /*exact=*/false};
-  };
-
-  CachedAnswer out;
   switch (agg) {
-    case query::AggKind::kCount: {
-      const auto value = static_cast<double>(b.core.count);
-      if (region.whole_domain) {
-        out = CachedAnswer{value, 0.0, false};  // membership is static
-      } else {
-        out = answer(value, static_cast<double>(b.inner.count),
-                     static_cast<double>(b.outer.count));
-      }
-      break;
-    }
-    case query::AggKind::kSum: {
-      const auto value = static_cast<double>(b.core.sum);
-      if (region.whole_domain) {
-        out = answer(value,
-                     value - static_cast<double>(b.core.count) * d,
-                     value + static_cast<double>(b.core.count) * d);
-      } else {
-        const double lo = std::max(
-            0.0, static_cast<double>(b.inner.sum) -
-                     static_cast<double>(b.inner.count) * d);
-        const double hi = static_cast<double>(b.outer.sum) +
-                          static_cast<double>(b.outer.count) * d;
-        out = answer(value, lo, hi);
-      }
-      break;
-    }
-    case query::AggKind::kAvg: {
+    case query::AggregateKind::kCount:
+      return cube::make_answer(static_cast<double>(b.core.count), br.count_lo,
+                               br.count_hi);
+    case query::AggregateKind::kSum:
+      return cube::make_answer(static_cast<double>(b.core.sum), br.sum_lo,
+                               br.sum_hi);
+    case query::AggregateKind::kAvg: {
       if (b.core.count == 0) return std::nullopt;  // empty selection
+      if (br.count_lo <= 0.0) return std::nullopt;  // count could hit zero
       const double value = static_cast<double>(b.core.sum) /
                            static_cast<double>(b.core.count);
-      if (region.whole_domain) {
-        out = answer(value, value - d, value + d);
-      } else {
-        if (b.inner.count == 0) return std::nullopt;  // count could hit zero
-        const double sum_lo = std::max(
-            0.0, static_cast<double>(b.inner.sum) -
-                     static_cast<double>(b.inner.count) * d);
-        const double sum_hi = static_cast<double>(b.outer.sum) +
-                              static_cast<double>(b.outer.count) * d;
-        out = answer(value, sum_lo / static_cast<double>(b.outer.count),
-                     sum_hi / static_cast<double>(b.inner.count));
-      }
-      break;
+      return cube::make_answer(value, br.sum_lo / br.count_hi,
+                               br.sum_hi / br.count_lo);
     }
-    case query::AggKind::kMin: {
-      if (b.core.count == 0) return std::nullopt;
-      const auto value = static_cast<double>(b.core.min);
-      if (region.whole_domain) {
-        out = answer(value, std::max(0.0, value - d), value + d);
-      } else {
-        if (b.inner.count == 0) return std::nullopt;
-        const double lo = std::max(static_cast<double>(region.lo),
-                                   static_cast<double>(b.outer.min) - d);
-        out = answer(value, lo, static_cast<double>(b.inner.min) + d);
-      }
-      break;
-    }
-    case query::AggKind::kMax: {
-      if (b.core.count == 0) return std::nullopt;
-      const auto value = static_cast<double>(b.core.max);
-      if (region.whole_domain) {
-        out = answer(value, value - d,
-                     std::min(static_cast<double>(max_value_bound_),
-                              value + d));
-      } else {
-        if (b.inner.count == 0) return std::nullopt;
-        const double hi = std::min(static_cast<double>(region.hi),
-                                   static_cast<double>(b.outer.max) + d);
-        out = answer(value, static_cast<double>(b.inner.max) - d, hi);
-      }
-      break;
-    }
-    case query::AggKind::kMedian:
-    case query::AggKind::kQuantile:
-    case query::AggKind::kCountDistinct:
+    case query::AggregateKind::kMin:
+      if (b.core.count == 0 || !br.defined) return std::nullopt;
+      return cube::make_answer(static_cast<double>(b.core.min), br.min_lo,
+                               br.min_hi);
+    case query::AggregateKind::kMax:
+      if (b.core.count == 0 || !br.defined) return std::nullopt;
+      return cube::make_answer(static_cast<double>(b.core.max), br.max_lo,
+                               br.max_hi);
+    case query::AggregateKind::kMedian:
+    case query::AggregateKind::kQuantile:
+    case query::AggregateKind::kCountDistinct:
       return std::nullopt;
   }
-  out.bound = std::max(out.bound, 0.0);
-  out.exact = out.bound == 0.0;
-  return out;
+  return std::nullopt;
 }
 
 std::optional<CachedAnswer> ResultCache::check(
-    const query::RegionSignature& region, query::AggKind agg,
+    const query::RegionSignature& region, query::AggregateKind agg,
     std::optional<double> epsilon, std::uint32_t now_epoch,
     bool count_hit) const {
   const auto it = entries_.find(region);
@@ -201,14 +123,14 @@ std::optional<CachedAnswer> ResultCache::check(
 }
 
 std::optional<CachedAnswer> ResultCache::lookup(
-    const query::RegionSignature& region, query::AggKind agg,
+    const query::RegionSignature& region, query::AggregateKind agg,
     std::optional<double> epsilon, std::uint32_t now_epoch) const {
   ++counters_.lookups;
   return check(region, agg, epsilon, now_epoch, /*count_hit=*/true);
 }
 
 std::optional<CachedAnswer> ResultCache::probe(
-    const query::RegionSignature& region, query::AggKind agg,
+    const query::RegionSignature& region, query::AggregateKind agg,
     std::optional<double> epsilon, std::uint32_t now_epoch) const {
   ++counters_.probes;
   return check(region, agg, epsilon, now_epoch, /*count_hit=*/false);

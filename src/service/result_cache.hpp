@@ -1,25 +1,15 @@
 // Result cache with deterministic error bounds (the PASS idea).
 //
-// The query service collects, per shared-aggregation group, a *stats bundle*:
-// COUNT/SUM/MIN/MAX over the query region plus the same four aggregates over
-// a margin-shrunk ("inner") and margin-grown ("outer") copy of the region.
-// Under the model's drift assumption — a sensor's reading moves by at most
-// `max_delta` per epoch and stays in [0, max_value_bound] — a bundle frozen
-// at epoch t still brackets the *current* aggregate at epoch t + s:
-//
-//   d = s * max_delta                 (per-sensor worst-case drift)
-//   items in the inner region (margin M = horizon * max_delta >= d) cannot
-//   have left the region; items outside the outer region cannot have entered.
-//
-//   COUNT in [inner.count, outer.count]
-//   SUM   in [inner.sum - inner.count*d, outer.sum + outer.count*d]
-//   MIN   in [max(lo, outer.min - d),   inner.min + d]
-//   MAX   in [inner.max - d,            min(hi, outer.max + d)]
-//   AVG   in [sum_lo / count_hi,        sum_hi / count_lo]
-//
-// For whole-domain regions membership is static (values cannot leave
-// [0, max_value_bound]), so COUNT is exact at any staleness and SUM/AVG/
-// MIN/MAX tighten to pure value-drift bounds.
+// The query service collects, per shared-aggregation group, a *stats bundle*
+// (cube::StatsBundle): COUNT/SUM/MIN/MAX over the query region plus the same
+// four aggregates over a margin-shrunk ("inner") and margin-grown ("outer")
+// copy of the region. Under the model's drift assumption — a sensor's
+// reading moves by at most `max_delta` per epoch and stays in
+// [0, max_value_bound] — a bundle frozen at epoch t still brackets the
+// *current* aggregate at epoch t + s. The bracket arithmetic itself lives in
+// cube::bracket_bundle (one home, shared with the multiresolution cube's
+// per-cell staleness bounds); this file is the region-keyed store and the
+// hit/miss policy on top of it.
 //
 // A lookup is a *hit* when the bracket's half-width satisfies the query's
 // requested ERROR tolerance (interpreted relative to the answer); queries
@@ -33,43 +23,20 @@
 #include <optional>
 
 #include "src/common/types.hpp"
-#include "src/query/planner.hpp"
+#include "src/cube/stats.hpp"
+#include "src/query/aggregate.hpp"
+#include "src/query/plan.hpp"
 
 namespace sensornet::service {
 
-/// COUNT/SUM/MIN/MAX over one value range. min/max are meaningful only when
-/// count > 0.
-struct RangeStats {
-  std::uint64_t count = 0;
-  std::uint64_t sum = 0;
-  Value min = 0;
-  Value max = 0;
-
-  void observe(Value v);
-  void combine(const RangeStats& other);
-
-  bool operator==(const RangeStats&) const = default;
-};
-
-/// One shared collection's result: stats over the core region and its
-/// margin-shrunk / margin-grown companions (inner ⊆ core ⊆ outer).
-struct StatsBundle {
-  RangeStats core;
-  RangeStats inner;
-  RangeStats outer;
-
-  void combine(const StatsBundle& other);
-
-  bool operator==(const StatsBundle&) const = default;
-};
+// The stats primitives moved to src/cube in PR 10; these aliases keep the
+// service's vocabulary (collections produce bundles, caches store them).
+using cube::RangeStats;
+using cube::StatsBundle;
 
 /// A cache-served answer: the frozen aggregate plus the deterministic bound
 /// on its distance from the exact current answer.
-struct CachedAnswer {
-  double value = 0.0;
-  double bound = 0.0;   // |value - exact_now| <= bound, guaranteed
-  bool exact = false;   // bound == 0
-};
+using CachedAnswer = cube::BracketedAnswer;
 
 /// Monotonic outcome counters since construction. Every hit is a zero-bit
 /// answer (served without touching the network); `exact_hits` is the
@@ -105,7 +72,7 @@ class ResultCache {
   /// the failure's kind) — call it only when a success will actually be
   /// served to a query.
   std::optional<CachedAnswer> lookup(const query::RegionSignature& region,
-                                     query::AggKind agg,
+                                     query::AggregateKind agg,
                                      std::optional<double> epsilon,
                                      std::uint32_t now_epoch) const;
 
@@ -115,7 +82,7 @@ class ResultCache {
   /// probe succeeded to be answered fresh anyway. Failures still classify
   /// (miss/expired/absent) — a failed probe IS the reason bits get spent.
   std::optional<CachedAnswer> probe(const query::RegionSignature& region,
-                                    query::AggKind agg,
+                                    query::AggregateKind agg,
                                     std::optional<double> epsilon,
                                     std::uint32_t now_epoch) const;
 
@@ -123,7 +90,7 @@ class ResultCache {
   /// tolerance. Exposed for tests and for the service's "could the cache
   /// serve this group" probe.
   std::optional<CachedAnswer> bracket(const query::RegionSignature& region,
-                                      query::AggKind agg,
+                                      query::AggregateKind agg,
                                       std::uint32_t now_epoch) const;
 
   std::size_t size() const { return entries_.size(); }
@@ -138,7 +105,7 @@ class ResultCache {
 
   /// Shared classify path behind lookup() and probe().
   std::optional<CachedAnswer> check(const query::RegionSignature& region,
-                                    query::AggKind agg,
+                                    query::AggregateKind agg,
                                     std::optional<double> epsilon,
                                     std::uint32_t now_epoch,
                                     bool count_hit) const;

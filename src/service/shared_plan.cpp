@@ -1,7 +1,6 @@
 #include "src/service/shared_plan.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
 
 #include "src/common/codec.hpp"
@@ -29,47 +28,20 @@ void mirror_plan_stats(const SharedPlanStats& s) {
   reg.gauge_set(reg.gauge("svc.plan.groups_created"), s.groups_created);
 }
 
-constexpr std::uint32_t kInvalidEpoch = std::numeric_limits<std::uint32_t>::max();
-constexpr std::uint32_t kMarkSession = 0x7F00;
-constexpr std::uint16_t kMarkKind = 1;
+constexpr std::uint32_t kInvalidEpoch = cube::DirtyTracker::kInvalidEpoch;
 constexpr std::uint16_t kRequestKind = 1;
 constexpr std::uint16_t kResponseKind = 2;
 
-/// Index of `child` within the node's sorted children list.
-std::size_t child_index(const net::SpanningTree& tree, NodeId node,
-                        NodeId child) {
-  const auto& kids = tree.children[node];
-  const auto it = std::lower_bound(kids.begin(), kids.end(), child);
-  SENSORNET_EXPECTS(it != kids.end() && *it == child);
-  return static_cast<std::size_t>(it - kids.begin());
-}
-
-void encode_range_stats(BitWriter& w, const RangeStats& rs) {
-  encode_uint(w, rs.count);
-  if (rs.count == 0) return;
-  encode_uint(w, rs.sum);
-  encode_uint(w, static_cast<std::uint64_t>(rs.min));
-  encode_uint(w, static_cast<std::uint64_t>(rs.max - rs.min));
-}
-
-RangeStats decode_range_stats(BitReader& r) {
-  RangeStats rs;
-  rs.count = decode_uint(r);
-  if (rs.count == 0) return rs;
-  rs.sum = decode_uint(r);
-  rs.min = static_cast<Value>(decode_uint(r));
-  rs.max = rs.min + static_cast<Value>(decode_uint(r));
-  return rs;
-}
+using cube::child_index;
+using cube::decode_range_stats;
+using cube::encode_range_stats;
 
 }  // namespace
 
 // ---- group state ----------------------------------------------------------
 
 struct SharedPlanScheduler::Group {
-  enum class Family { kStats, kDistinct };
-
-  Family family = Family::kStats;
+  query::AggregateFamily family = query::AggregateFamily::kStats;
   query::RegionSignature region;
   unsigned registers = 0;  // distinct family: 0 = exact union wave
   std::uint32_t session = 0;
@@ -131,61 +103,10 @@ StatsBundle SharedPlanScheduler::local_bundle(NodeId node,
 
 // ---- dirty-mark propagation ----------------------------------------------
 
-class SharedPlanScheduler::MarkWave final : public sim::ProtocolHandler {
- public:
-  MarkWave(SharedPlanScheduler& sched, std::uint32_t epoch,
-           std::vector<std::uint32_t>& forwarded_epoch)
-      : sched_(sched), epoch_(epoch), forwarded_epoch_(forwarded_epoch) {}
-
-  void emit_mark(sim::Network& net, NodeId node) {
-    if (node == sched_.tree_.root) return;
-    if (forwarded_epoch_[node] == epoch_) return;  // coalesced
-    forwarded_epoch_[node] = epoch_;
-    BitWriter w;
-    w.write_bit(true);
-    net.send(sim::Message::make(node, sched_.tree_.parent[node], kMarkSession,
-                                kMarkKind, std::move(w)));
-    ++sched_.stats_.mark_messages;
-  }
-
-  void on_message(sim::Network& net, NodeId receiver,
-                  const sim::Message& msg) override {
-    SENSORNET_EXPECTS(msg.session == kMarkSession && msg.kind == kMarkKind);
-    const std::size_t ci = child_index(sched_.tree_, receiver, msg.from);
-    sched_.child_changed_epoch_[receiver][ci] = epoch_;
-    sched_.subtree_changed_epoch_[receiver] = epoch_;
-    emit_mark(net, receiver);
-  }
-
- private:
-  SharedPlanScheduler& sched_;
-  std::uint32_t epoch_;
-  std::vector<std::uint32_t>& forwarded_epoch_;
-};
-
 void SharedPlanScheduler::note_updates(std::span<const NodeId> updated,
                                        std::uint32_t epoch) {
-  SENSORNET_EXPECTS(epoch != kNever && epoch != kInvalidEpoch);
-  if (updated.empty()) return;
-  // Per-epoch coalescing state: one vector reused across epochs would also
-  // work, but a mark wave touches only the updated nodes' root paths, so a
-  // fresh zeroed vector per batch keeps the logic obvious. (Epoch 0 is
-  // reserved as "never", so zero-initialization is the coalesced-for-no-one
-  // state.)
-  std::vector<std::uint32_t> forwarded(tree_.node_count(), kNever);
-  MarkWave wave(*this, epoch, forwarded);
-  const SimTime t0 = net_.now();
-  for (const NodeId u : updated) {
-    SENSORNET_EXPECTS(u < tree_.node_count());
-    subtree_changed_epoch_[u] = epoch;
-    wave.emit_mark(net_, u);
-  }
-  net_.run(wave);
-  obs::TraceRing& ring = obs::TraceRing::global();
-  if (ring.enabled()) {
-    ring.complete("mark.wave", "service", t0, net_.now() - t0, 0, "epoch",
-                  epoch, "updated", updated.size());
-  }
+  dirty_.note_updates(updated, epoch);
+  stats_.mark_messages = dirty_.mark_messages();
   mirror_plan_stats(stats_);
 }
 
@@ -242,9 +163,8 @@ class SharedPlanScheduler::StatsWave final : public sim::ProtocolHandler {
     accum_[node] = sched_.local_bundle(node, g_);
     const auto& kids = sched_.tree_.children[node];
     for (std::size_t ci = 0; ci < kids.size(); ++ci) {
-      const std::uint32_t have = g_.child_partial_epoch[node][ci];
-      const bool fresh = have != kInvalidEpoch &&
-                         sched_.child_changed_epoch_[node][ci] <= have;
+      const bool fresh = sched_.dirty_.edge_fresh(
+          node, ci, g_.child_partial_epoch[node][ci]);
       obs::TraceRing& ring = obs::TraceRing::global();
       if (fresh) {
         accum_[node].combine(g_.child_partial[node][ci]);
@@ -301,13 +221,8 @@ SharedPlanScheduler::SharedPlanScheduler(sim::Network& net,
       max_value_bound_(max_value_bound),
       max_delta_(max_delta),
       horizon_epochs_(horizon_epochs),
-      subtree_changed_epoch_(tree.node_count(), kNever),
-      child_changed_epoch_(tree.node_count()) {
-  SENSORNET_EXPECTS(net.node_count() == tree.node_count());
+      dirty_(net, tree) {
   SENSORNET_EXPECTS(max_value_bound >= 0 && max_delta >= 0);
-  for (NodeId u = 0; u < tree.node_count(); ++u) {
-    child_changed_epoch_[u].assign(tree.children[u].size(), kNever);
-  }
 }
 
 SharedPlanScheduler::~SharedPlanScheduler() = default;
@@ -320,7 +235,7 @@ GroupId SharedPlanScheduler::ensure_stats_group(
   }
   const auto id = static_cast<GroupId>(groups_.size());
   auto g = std::make_unique<Group>();
-  g->family = Group::Family::kStats;
+  g->family = query::AggregateFamily::kStats;
   g->region = region;
   g->session = next_session_++;
   g->child_partial.resize(tree_.node_count());
@@ -356,7 +271,7 @@ GroupId SharedPlanScheduler::ensure_distinct_group(
   }
   const auto id = static_cast<GroupId>(groups_.size());
   auto g = std::make_unique<Group>();
-  g->family = Group::Family::kDistinct;
+  g->family = query::AggregateFamily::kDistinct;
   g->region = region;
   g->registers = registers;
   g->session = next_session_++;
@@ -379,7 +294,7 @@ const StatsBundle& SharedPlanScheduler::collect_stats(GroupId group,
                                                       std::uint32_t epoch) {
   SENSORNET_EXPECTS(group < groups_.size());
   Group& g = *groups_[group];
-  SENSORNET_EXPECTS(g.family == Group::Family::kStats);
+  SENSORNET_EXPECTS(g.family == query::AggregateFamily::kStats);
   if (g.last_collect_epoch == epoch) return g.root_bundle;  // idempotent
   const SimTime t0 = net_.now();
   StatsWave wave(*this, g, epoch);
@@ -399,7 +314,7 @@ double SharedPlanScheduler::collect_distinct(GroupId group,
                                              std::uint32_t epoch) {
   SENSORNET_EXPECTS(group < groups_.size());
   Group& g = *groups_[group];
-  SENSORNET_EXPECTS(g.family == Group::Family::kDistinct);
+  SENSORNET_EXPECTS(g.family == query::AggregateFamily::kDistinct);
   if (g.last_collect_epoch == epoch) return g.distinct_estimate;
   const RegionView view(g.region);
   const proto::LocalItemView& item_view =

@@ -11,12 +11,13 @@
 //               (region, registers) key
 //
 // Collections are *incremental*. Sensors that change push a coalesced 1-bit
-// dirty mark up the tree (each node forwards at most one mark per epoch), so
-// every interior node knows, per child edge, the epoch of the last change
-// below it. A collection wave then descends only into subtrees that changed
-// since the group's cached partial for that edge — unchanged subtrees are
-// answered from the parent-side cache without a single message. A fully
-// quiescent network collects for free.
+// dirty mark up the tree (cube::DirtyTracker — shared with the
+// multiresolution cube, which rides the same wave), so every interior node
+// knows, per child edge, the epoch of the last change below it. A
+// collection wave then descends only into subtrees that changed since the
+// group's cached partial for that edge — unchanged subtrees are answered
+// from the parent-side cache without a single message. A fully quiescent
+// network collects for free.
 //
 // The scheduler assumes the service's deployment discipline: lossless links
 // (tree waves stall under loss) and serial execution (one collection at a
@@ -31,8 +32,9 @@
 #include <vector>
 
 #include "src/common/types.hpp"
+#include "src/cube/dirty.hpp"
 #include "src/net/spanning_tree.hpp"
-#include "src/query/planner.hpp"
+#include "src/query/plan.hpp"
 #include "src/service/result_cache.hpp"
 #include "src/sim/network.hpp"
 
@@ -87,12 +89,15 @@ class SharedPlanScheduler {
   /// the estimate (exact count for register-less groups).
   double collect_distinct(GroupId group, std::uint32_t epoch);
 
+  /// The freshness oracle behind every incremental consumer (this
+  /// scheduler's stats waves, the cube's cell refreshes).
+  const cube::DirtyTracker& dirty() const { return dirty_; }
+
   const SharedPlanStats& stats() const { return stats_; }
   std::size_t group_count() const { return groups_.size(); }
 
  private:
   struct Group;
-  class MarkWave;
   class StatsWave;
   class RegionView;
 
@@ -104,13 +109,9 @@ class SharedPlanScheduler {
   Value max_delta_;
   std::uint32_t horizon_epochs_;
 
-  // ---- per-node dirty tracking (state physically resident at nodes,
-  // installed by the mark messages) -------------------------------------
-  static constexpr std::uint32_t kNever = 0;  // epochs are 1-based
-  std::vector<std::uint32_t> subtree_changed_epoch_;
-  /// Parallel to tree_.children[n]: epoch of the last change heard from
-  /// each child edge.
-  std::vector<std::vector<std::uint32_t>> child_changed_epoch_;
+  /// Per-node dirty tracking, physically resident at nodes (extracted to
+  /// cube::DirtyTracker in PR 10 so the cube can share the mark wave).
+  cube::DirtyTracker dirty_;
 
   std::vector<std::unique_ptr<Group>> groups_;
   std::map<std::pair<query::RegionSignature, unsigned>, GroupId>

@@ -1,0 +1,343 @@
+#include "src/cube/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/count_distinct.hpp"
+#include "src/net/topology.hpp"
+#include "src/proto/item_view.hpp"
+#include "src/query/parser.hpp"
+#include "src/query/planner.hpp"
+
+namespace sensornet::cube {
+namespace {
+
+constexpr Value kBound = 1000;
+constexpr Value kDelta = 4;     // CubeConfig default max_delta
+constexpr std::uint32_t kHorizon = 8;  // CubeConfig default horizon_epochs
+
+/// The oracle: core stats over `region` computed directly from the
+/// installed items, no network involved.
+RangeStats direct_core(const sim::Network& net,
+                       const query::RegionSignature& region) {
+  RangeStats rs;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    for (const Value v : net.items(u)) {
+      if (region.whole_domain || (v >= region.lo && v <= region.hi)) {
+        rs.observe(v);
+      }
+    }
+  }
+  return rs;
+}
+
+struct Fixture {
+  sim::Network net;
+  net::SpanningTree tree;
+  DirtyTracker dirty;
+  Cube cube;
+
+  explicit Fixture(CubeConfig cfg = {}, std::uint64_t seed = 7)
+      : net(net::make_grid(8, 8), seed),
+        tree(net::bfs_tree(net.graph(), 0)),
+        dirty(net, tree),
+        cube(net, tree, kBound, dirty, cfg) {
+    ValueSet vs(64);
+    for (NodeId u = 0; u < 64; ++u) {
+      vs[u] = static_cast<Value>((u * 37) % 200);
+    }
+    net.set_one_item_per_node(vs);
+  }
+
+  query::CostedPlan plan_for(const std::string& text) {
+    const query::Planner planner(kBound, &cube);
+    return planner.plan(query::parse_query(text)).value();
+  }
+};
+
+TEST(Cube, GeometryNestsAndConstructionShipsZeroBits) {
+  Fixture f;
+  // Construction is pure bookkeeping: the install broadcast is lazy.
+  EXPECT_EQ(f.net.summary().total_messages, 0u);
+  EXPECT_EQ(f.cube.cell_count(), 15u);  // 1 + 2 + 4 + 8
+  // Level 0 is the whole domain; every cell is the union of its children.
+  EXPECT_TRUE(f.cube.cell_region({0, 0}).whole_domain);
+  for (unsigned level = 0; level + 1 < f.cube.levels(); ++level) {
+    for (unsigned i = 0; i < (1u << level); ++i) {
+      const auto parent = f.cube.cell_region({level, i});
+      const auto left = f.cube.cell_region({level + 1, 2 * i});
+      const auto right = f.cube.cell_region({level + 1, 2 * i + 1});
+      EXPECT_EQ(parent.lo, left.lo);
+      EXPECT_EQ(left.hi + 1, right.lo);
+      EXPECT_EQ(parent.hi, right.hi);
+    }
+  }
+}
+
+TEST(Cube, ServeComposesTheExactAnswer) {
+  Fixture f;
+  for (const char* text :
+       {"SELECT COUNT(v) FROM s", "SELECT MIN(v) FROM s",
+        "SELECT SUM(v) FROM s WHERE v BETWEEN 30 AND 120",
+        "SELECT MAX(v) FROM s WHERE v BETWEEN 0 AND 499",
+        "SELECT COUNT(v) FROM s WHERE v BETWEEN 77 AND 901"}) {
+    const query::CostedPlan plan = f.plan_for(text);
+    const ServeResult r = f.cube.serve(plan, 0);
+    EXPECT_EQ(r.bundle.core, direct_core(f.net, plan.region)) << text;
+  }
+}
+
+TEST(Cube, FirstServePaysTheGeometryInstallOnce) {
+  Fixture f;
+  const query::CostedPlan plan = f.plan_for("SELECT COUNT(v) FROM s");
+  f.cube.serve(plan, 0);
+  EXPECT_EQ(f.cube.stats().geometry_installs, 1u);
+  const auto msgs = f.net.summary().total_messages;
+  EXPECT_GT(msgs, 0u);
+  f.cube.serve(plan, 0);
+  EXPECT_EQ(f.cube.stats().geometry_installs, 1u);
+  // Same epoch: the cell is already fresh, so the re-serve is free.
+  EXPECT_EQ(f.net.summary().total_messages, msgs);
+}
+
+TEST(Cube, QuiescentRefreshIsFree) {
+  Fixture f;
+  const query::CostedPlan plan = f.plan_for("SELECT SUM(v) FROM s");
+  ASSERT_TRUE(plan.cube_served());
+  f.cube.serve(plan, 0);
+  const auto msgs = f.net.summary().total_messages;
+  const auto descended = f.cube.stats().cell_edges_descended;
+  // Nothing changed: epoch 1's refresh is answered entirely from the
+  // parent-side partials.
+  const ServeResult r = f.cube.serve(plan, 1);
+  EXPECT_EQ(f.net.summary().total_messages, msgs);
+  EXPECT_EQ(f.cube.stats().cell_edges_descended, descended);
+  EXPECT_EQ(r.bundle.core, direct_core(f.net, plan.region));
+}
+
+TEST(Cube, IncrementalRefreshDescendsOnlyTheDirtyPath) {
+  Fixture f;
+  const query::CostedPlan plan = f.plan_for("SELECT SUM(v) FROM s");
+  ASSERT_EQ(plan.steps.size(), 1u);  // whole domain: the root cell alone
+  ASSERT_EQ(plan.steps[0].kind, query::StepKind::kCubeCell);
+  f.cube.serve(plan, 0);
+  EXPECT_EQ(f.cube.stats().cell_edges_descended, 63u);
+
+  const NodeId changed = 63;
+  f.net.update_item(changed, 0, f.net.items(changed)[0] + kDelta);
+  const std::vector<NodeId> touched{changed};
+  f.dirty.note_updates(touched, 1);
+  const ServeResult r = f.cube.serve(plan, 1);
+  // Exactly the changed node's root path is revisited.
+  EXPECT_EQ(f.cube.stats().cell_edges_descended, 63u + f.tree.depth[changed]);
+  EXPECT_GT(f.cube.stats().cell_edges_skipped, 0u);
+  EXPECT_EQ(r.bundle.core, direct_core(f.net, plan.region));
+}
+
+TEST(Cube, ResiduePrunesSubtreesProvablyEmptyForTheRange) {
+  Fixture f;
+  // Refresh the upper-half cell: items are all < 500, so every cached
+  // partial records an empty outer region for [500, 1000].
+  const query::CostedPlan upper =
+      f.plan_for("SELECT COUNT(v) FROM s WHERE v BETWEEN 500 AND 1000");
+  const ServeResult first = f.cube.serve(upper, 0);
+  EXPECT_EQ(first.bundle.core.count, 0u);
+  ASSERT_GT(first.cells_used + first.residues_run, 0u);
+
+  // A misaligned range inside the proven-empty region: the residue wave
+  // prunes every root-child edge, so the collection is free — and exact.
+  const auto msgs = f.net.summary().total_messages;
+  const query::CostedPlan inner =
+      f.plan_for("SELECT COUNT(v) FROM s WHERE v BETWEEN 600 AND 700");
+  const ServeResult r = f.cube.serve(inner, 0);
+  EXPECT_EQ(r.bundle.core.count, 0u);
+  EXPECT_GT(f.cube.stats().residue_edges_pruned, 0u);
+  EXPECT_EQ(f.net.summary().total_messages, msgs);
+}
+
+TEST(Cube, PruningStopsWhenTheSubtreeChanges) {
+  Fixture f;
+  const query::CostedPlan upper =
+      f.plan_for("SELECT COUNT(v) FROM s WHERE v BETWEEN 500 AND 1000");
+  f.cube.serve(upper, 0);
+  // A node's reading jumps into the range: its root path is dirty, so the
+  // emptiness proof no longer covers it and the residue must look again.
+  f.net.update_item(63, 0, 650);
+  const std::vector<NodeId> touched{63};
+  f.dirty.note_updates(touched, 1);
+  const query::CostedPlan inner =
+      f.plan_for("SELECT COUNT(v) FROM s WHERE v BETWEEN 600 AND 700");
+  const ServeResult r = f.cube.serve(inner, 1);
+  EXPECT_EQ(r.bundle.core, direct_core(f.net, inner.region));
+  EXPECT_EQ(r.bundle.core.count, 1u);
+}
+
+TEST(Cube, StaleBracketContainsTheDriftedTruth) {
+  Fixture f;
+  const query::CostedPlan plan = f.plan_for("SELECT SUM(v) FROM s");
+  ASSERT_EQ(plan.steps.size(), 1u);
+  f.cube.serve(plan, 0);
+
+  // Drift every reading by at most kDelta per epoch for three epochs,
+  // without telling the cube (no serve) — only the dirty tracker hears.
+  std::vector<NodeId> all(64);
+  for (NodeId u = 0; u < 64; ++u) all[u] = u;
+  for (std::uint32_t e = 1; e <= 3; ++e) {
+    for (NodeId u = 0; u < 64; ++u) {
+      const Value v = f.net.items(u)[0];
+      const Value moved = (u % 2 == 0) ? std::min<Value>(v + kDelta, kBound)
+                                       : std::max<Value>(v - kDelta, 0);
+      f.net.update_item(u, 0, moved);
+    }
+    f.dirty.note_updates(all, e);
+  }
+
+  const query::RegionSignature whole{0, kBound, true};
+  const RangeStats truth = direct_core(f.net, whole);
+  const auto check = [&](query::AggregateKind agg, double exact_now) {
+    const auto br = f.cube.stale_bracket(plan, agg, 3);
+    ASSERT_TRUE(br.has_value()) << agg_name(agg);
+    EXPECT_LE(std::abs(exact_now - br->value), br->bound) << agg_name(agg);
+  };
+  check(query::AggregateKind::kSum, static_cast<double>(truth.sum));
+  check(query::AggregateKind::kMin, static_cast<double>(truth.min));
+  check(query::AggregateKind::kMax, static_cast<double>(truth.max));
+  check(query::AggregateKind::kAvg,
+        static_cast<double>(truth.sum) / static_cast<double>(truth.count));
+  // Whole-domain membership is static: COUNT stays exact at any staleness.
+  const auto count = f.cube.stale_bracket(plan, query::AggregateKind::kCount, 3);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_TRUE(count->exact);
+  EXPECT_EQ(count->value, 64.0);
+  // The zero-bit path sent nothing.
+  EXPECT_GT(f.cube.stats().stale_serves, 0u);
+}
+
+TEST(Cube, StaleBracketOnARangedCellIsSoundWithinTheHorizon) {
+  Fixture f;
+  // [0, 499] is exactly cell (1, 0) for bound 1000.
+  const query::CostedPlan plan =
+      f.plan_for("SELECT MIN(v) FROM s WHERE v BETWEEN 0 AND 499");
+  ASSERT_EQ(plan.steps.size(), 1u);
+  ASSERT_EQ(plan.steps[0].kind, query::StepKind::kCubeCell);
+  f.cube.serve(plan, 0);
+
+  std::vector<NodeId> all(64);
+  for (NodeId u = 0; u < 64; ++u) all[u] = u;
+  for (NodeId u = 0; u < 64; ++u) {
+    f.net.update_item(u, 0, std::max<Value>(f.net.items(u)[0] - kDelta, 0));
+  }
+  f.dirty.note_updates(all, 1);
+
+  const RangeStats truth = direct_core(f.net, plan.region);
+  for (const query::AggregateKind agg :
+       {query::AggregateKind::kCount, query::AggregateKind::kSum,
+        query::AggregateKind::kMin, query::AggregateKind::kMax}) {
+    const auto br = f.cube.stale_bracket(plan, agg, 1);
+    ASSERT_TRUE(br.has_value()) << agg_name(agg);
+    const double exact_now =
+        agg == query::AggregateKind::kCount ? static_cast<double>(truth.count)
+        : agg == query::AggregateKind::kSum ? static_cast<double>(truth.sum)
+        : agg == query::AggregateKind::kMin ? static_cast<double>(truth.min)
+                                            : static_cast<double>(truth.max);
+    EXPECT_LE(std::abs(exact_now - br->value), br->bound) << agg_name(agg);
+  }
+
+  // Past the margin horizon the ranged bracket is refused, not fudged.
+  EXPECT_FALSE(f.cube
+                   .stale_bracket(plan, query::AggregateKind::kSum,
+                                  kHorizon + 1)
+                   .has_value());
+}
+
+TEST(Cube, StaleBracketRefusesNonCellPlansAndColdCells) {
+  Fixture f;
+  query::CostedPlan tree_plan;
+  tree_plan.region = {0, kBound, true};
+  tree_plan.steps.push_back(
+      {query::StepKind::kTreeCollect, tree_plan.region, {}, 0});
+  EXPECT_FALSE(
+      f.cube.stale_bracket(tree_plan, query::AggregateKind::kSum, 0)
+          .has_value());
+
+  // A cube-cell plan whose cell was never refreshed has nothing to bracket.
+  const query::CostedPlan cold = f.plan_for("SELECT SUM(v) FROM s");
+  ASSERT_EQ(cold.steps[0].kind, query::StepKind::kCubeCell);
+  EXPECT_FALSE(
+      f.cube.stale_bracket(cold, query::AggregateKind::kSum, 0).has_value());
+}
+
+/// The oracle's view of a ranged COUNT_DISTINCT: only in-range readings.
+class RegionView final : public proto::LocalItemView {
+ public:
+  RegionView(Value lo, Value hi) : lo_(lo), hi_(hi) {}
+  ValueSet items(sim::Network& net, NodeId node) const override {
+    ValueSet out;
+    for (const Value v : net.items(node)) {
+      if (v >= lo_ && v <= hi_) out.push_back(v);
+    }
+    return out;
+  }
+
+ private:
+  Value lo_;
+  Value hi_;
+};
+
+TEST(Cube, DistinctEstimateIsByteIdenticalToTheTreeOracle) {
+  CubeConfig cfg;
+  cfg.distinct_registers = 64;
+  Fixture f(cfg);
+  // ERROR 0.15 sizes to 64 registers — the cube's own geometry, so the
+  // plan is cube-eligible.
+  const query::CostedPlan plan =
+      f.plan_for("SELECT COUNT_DISTINCT(v) FROM s ERROR 0.15");
+  ASSERT_EQ(plan.registers, 64u);
+  const ServeResult r = f.cube.serve(plan, 0);
+  ASSERT_TRUE(r.has_distinct);
+
+  // Twin network, same seed and items, answered by the PR 3 hashed-HLL
+  // tree protocol: the cube replicates its sketch geometry (salt, width),
+  // so register-max merges reproduce the estimate bit for bit.
+  Fixture twin(CubeConfig{});
+  const auto oracle = core::approx_count_distinct(
+      twin.net, twin.tree, 64, proto::EstimatorKind::kHyperLogLog,
+      proto::raw_item_view());
+  EXPECT_DOUBLE_EQ(r.distinct_estimate, oracle.estimate);
+}
+
+TEST(Cube, RangedDistinctComposesCellsAndResiduesExactly) {
+  CubeConfig cfg;
+  cfg.distinct_registers = 64;
+  Fixture f(cfg);
+  const query::CostedPlan plan = f.plan_for(
+      "SELECT COUNT_DISTINCT(v) FROM s WHERE v BETWEEN 0 AND 99 ERROR 0.15");
+  const ServeResult r = f.cube.serve(plan, 0);
+  ASSERT_TRUE(r.has_distinct);
+
+  Fixture twin(CubeConfig{});
+  const RegionView view(0, 99);
+  const auto oracle = core::approx_count_distinct(
+      twin.net, twin.tree, 64, proto::EstimatorKind::kHyperLogLog, view);
+  EXPECT_DOUBLE_EQ(r.distinct_estimate, oracle.estimate);
+}
+
+TEST(Cube, CostModelTracksActualRefreshState) {
+  Fixture f;
+  // Cold cube: refreshing the root cell must look at every edge.
+  EXPECT_GT(f.cube.cell_refresh_bits({0, 0}), 0u);
+  const query::CostedPlan plan = f.plan_for("SELECT COUNT(v) FROM s");
+  f.cube.serve(plan, 0);
+  // Fresh cell, quiescent network: the next refresh is free, and the
+  // planner's cost model knows it.
+  EXPECT_EQ(f.cube.cell_refresh_bits({0, 0}), 0u);
+  // Tree collection always pays every edge, fresh partials or not.
+  const query::RegionSignature whole{0, kBound, true};
+  EXPECT_GT(f.cube.tree_collect_bits(whole), 0u);
+  EXPECT_EQ(f.cube.tree_collect_bits(whole) % 63u, 0u);
+}
+
+}  // namespace
+}  // namespace sensornet::cube

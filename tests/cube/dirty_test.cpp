@@ -1,0 +1,109 @@
+#include "src/cube/dirty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topology.hpp"
+
+namespace sensornet::cube {
+namespace {
+
+struct Fixture {
+  sim::Network net;
+  net::SpanningTree tree;
+  DirtyTracker dirty;
+
+  explicit Fixture(std::uint64_t seed = 7)
+      : net(net::make_grid(8, 8), seed),
+        tree(net::bfs_tree(net.graph(), 0)),
+        dirty(net, tree) {}
+};
+
+TEST(DirtyTracker, ChildIndexFindsEachChild) {
+  Fixture f;
+  for (NodeId u = 0; u < f.tree.node_count(); ++u) {
+    const auto& kids = f.tree.children[u];
+    for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+      EXPECT_EQ(child_index(f.tree, u, kids[ci]), ci);
+    }
+  }
+}
+
+TEST(DirtyTracker, EverythingIsFreshBeforeAnyChange) {
+  Fixture f;
+  for (NodeId u = 0; u < f.tree.node_count(); ++u) {
+    EXPECT_EQ(f.dirty.subtree_changed_epoch(u), DirtyTracker::kNever);
+    for (std::size_t ci = 0; ci < f.tree.children[u].size(); ++ci) {
+      // A partial taken at epoch 0 is still exact...
+      EXPECT_TRUE(f.dirty.edge_fresh(u, ci, 0));
+      // ...but "no partial" never reads as fresh.
+      EXPECT_FALSE(f.dirty.edge_fresh(u, ci, DirtyTracker::kInvalidEpoch));
+    }
+  }
+  EXPECT_EQ(f.dirty.mark_messages(), 0u);
+}
+
+TEST(DirtyTracker, MarkPropagatesAlongTheRootPathOnly) {
+  Fixture f;
+  const NodeId changed = 63;
+  const std::vector<NodeId> touched{changed};
+  f.dirty.note_updates(touched, 1);
+
+  EXPECT_EQ(f.dirty.subtree_changed_epoch(changed), 1u);
+  EXPECT_EQ(f.dirty.subtree_changed_epoch(f.tree.root), 1u);
+
+  // Every edge on the root path is stale for epoch-0 partials; every edge
+  // off it stays fresh.
+  std::vector<bool> on_path(f.tree.node_count(), false);
+  for (NodeId u = changed; u != f.tree.root; u = f.tree.parent[u]) {
+    on_path[u] = true;
+  }
+  std::uint64_t stale_edges = 0;
+  for (NodeId u = 0; u < f.tree.node_count(); ++u) {
+    const auto& kids = f.tree.children[u];
+    for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+      const bool fresh = f.dirty.edge_fresh(u, ci, 0);
+      EXPECT_EQ(fresh, !on_path[kids[ci]]);
+      if (!fresh) ++stale_edges;
+    }
+  }
+  EXPECT_EQ(stale_edges, f.tree.depth[changed]);
+  // A partial taken at the change epoch is fresh again.
+  const NodeId parent = f.tree.parent[changed];
+  EXPECT_TRUE(
+      f.dirty.edge_fresh(parent, child_index(f.tree, parent, changed), 1));
+  // One mark message per root-path edge.
+  EXPECT_EQ(f.dirty.mark_messages(), f.tree.depth[changed]);
+}
+
+TEST(DirtyTracker, SiblingMarksCoalesceOnTheSharedPath) {
+  Fixture f;
+  const std::vector<NodeId> touched{62, 63};
+  f.dirty.note_updates(touched, 1);
+  const std::uint64_t depth_sum = f.tree.depth[62] + f.tree.depth[63];
+  EXPECT_LT(f.dirty.mark_messages(), depth_sum);
+  EXPECT_GE(f.dirty.mark_messages(), f.tree.depth[63]);
+}
+
+TEST(DirtyTracker, MarkBitsAreMeteredOnTheNetwork) {
+  Fixture f;
+  const auto before = f.net.summary().total_messages;
+  const std::vector<NodeId> touched{63};
+  f.dirty.note_updates(touched, 1);
+  EXPECT_EQ(f.net.summary().total_messages - before, f.dirty.mark_messages());
+}
+
+TEST(DirtyTracker, LaterEpochsStaleEarlierPartials) {
+  Fixture f;
+  const std::vector<NodeId> touched{63};
+  f.dirty.note_updates(touched, 1);
+  f.dirty.note_updates(touched, 3);
+  const NodeId parent = f.tree.parent[63];
+  const std::size_t ci = child_index(f.tree, parent, 63);
+  EXPECT_EQ(f.dirty.child_changed_epoch(parent, ci), 3u);
+  EXPECT_FALSE(f.dirty.edge_fresh(parent, ci, 1));
+  EXPECT_FALSE(f.dirty.edge_fresh(parent, ci, 2));
+  EXPECT_TRUE(f.dirty.edge_fresh(parent, ci, 3));
+}
+
+}  // namespace
+}  // namespace sensornet::cube

@@ -9,7 +9,7 @@ namespace {
 
 TEST(Parser, MinimalQuery) {
   const Query q = parse_query("SELECT COUNT(temp) FROM sensors");
-  EXPECT_EQ(q.agg, AggKind::kCount);
+  EXPECT_EQ(q.agg, AggregateKind::kCount);
   EXPECT_EQ(q.attribute, "temp");
   EXPECT_FALSE(q.where.has_value());
   EXPECT_FALSE(q.error.has_value());
@@ -17,21 +17,21 @@ TEST(Parser, MinimalQuery) {
 
 TEST(Parser, CaseInsensitiveKeywords) {
   const Query q = parse_query("select median(x) from s;");
-  EXPECT_EQ(q.agg, AggKind::kMedian);
+  EXPECT_EQ(q.agg, AggregateKind::kMedian);
 }
 
 TEST(Parser, AllAggregates) {
-  EXPECT_EQ(parse_query("SELECT MIN(v) FROM s").agg, AggKind::kMin);
-  EXPECT_EQ(parse_query("SELECT MAX(v) FROM s").agg, AggKind::kMax);
-  EXPECT_EQ(parse_query("SELECT SUM(v) FROM s").agg, AggKind::kSum);
-  EXPECT_EQ(parse_query("SELECT AVG(v) FROM s").agg, AggKind::kAvg);
+  EXPECT_EQ(parse_query("SELECT MIN(v) FROM s").agg, AggregateKind::kMin);
+  EXPECT_EQ(parse_query("SELECT MAX(v) FROM s").agg, AggregateKind::kMax);
+  EXPECT_EQ(parse_query("SELECT SUM(v) FROM s").agg, AggregateKind::kSum);
+  EXPECT_EQ(parse_query("SELECT AVG(v) FROM s").agg, AggregateKind::kAvg);
   EXPECT_EQ(parse_query("SELECT COUNT_DISTINCT(v) FROM s").agg,
-            AggKind::kCountDistinct);
+            AggregateKind::kCountDistinct);
 }
 
 TEST(Parser, QuantileFraction) {
   const Query q = parse_query("SELECT QUANTILE(v, 0.9) FROM s");
-  EXPECT_EQ(q.agg, AggKind::kQuantile);
+  EXPECT_EQ(q.agg, AggregateKind::kQuantile);
   EXPECT_DOUBLE_EQ(q.quantile_phi, 0.9);
 }
 

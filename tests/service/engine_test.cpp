@@ -346,5 +346,133 @@ TEST(QueryService, AttributedBitsPlusMarksEqualNetworkTotal) {
   EXPECT_EQ(attributed_msgs, total.total_messages);
 }
 
+TEST(QueryService, CubeModeAnswersMatchTheNaiveOracle) {
+  ServiceConfig cube_cfg;
+  cube_cfg.use_cube = true;
+  cube_cfg.use_cache = false;
+  ServiceConfig naive_cfg;
+  naive_cfg.share_aggregation = false;
+  naive_cfg.use_cache = false;
+  Fixture c{cube_cfg};
+  Fixture n{naive_cfg};
+  const std::vector<std::string> workload{
+      "SELECT SUM(v) FROM s EVERY 1 EPOCHS",
+      "SELECT COUNT(v) FROM s EVERY 1 EPOCHS",
+      "SELECT MIN(v) FROM s EVERY 1 EPOCHS",
+      "SELECT MAX(v) FROM s WHERE v BETWEEN 20 AND 200 EVERY 1 EPOCHS",
+      "SELECT AVG(v) FROM s WHERE v BETWEEN 50 AND 250 EVERY 2 EPOCHS",
+  };
+  for (const auto& q : workload) {
+    ASSERT_TRUE(c.svc.submit(q).ok());
+    ASSERT_TRUE(n.svc.submit(q).ok());
+  }
+  for (int e = 0; e < 6; ++e) {
+    const NodeId u = static_cast<NodeId>((e * 5) % 36);
+    const Value delta = (e % 2 == 0) ? 2 : -2;
+    const std::vector<SensorUpdate> cu{c.drift(u, delta)};
+    const std::vector<SensorUpdate> nu{n.drift(u, delta)};
+    const auto ca = c.svc.run_epoch(cu);
+    const auto na = n.svc.run_epoch(nu);
+    ASSERT_EQ(ca.size(), na.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      // Exact queries: the cube-composed answer is byte-identical to the
+      // per-query tree collection, fresh or bracket-served.
+      EXPECT_DOUBLE_EQ(ca[i].value, na[i].value) << "epoch " << e;
+      EXPECT_EQ(ca[i].exact, na[i].exact);
+    }
+  }
+  // One-shots route through the cube too.
+  const auto co = c.svc.submit("SELECT SUM(v) FROM s WHERE v BETWEEN 50 AND 250");
+  const auto no = n.svc.submit("SELECT SUM(v) FROM s WHERE v BETWEEN 50 AND 250");
+  EXPECT_DOUBLE_EQ(co.value().answer->value, no.value().answer->value);
+  EXPECT_GT(c.svc.telemetry().cube_fresh_answers, 0u);
+}
+
+TEST(QueryService, CubeModeShipsFewerBitsOnRepeatedWholeDomainQueries) {
+  // The PR 10 claim in miniature: whole-domain continuous queries ride one
+  // incrementally-fresh root cell instead of paying a collection each.
+  ServiceConfig cube_cfg;
+  cube_cfg.use_cube = true;
+  cube_cfg.use_cache = false;
+  ServiceConfig naive_cfg;
+  naive_cfg.share_aggregation = false;
+  naive_cfg.use_cache = false;
+  Fixture c{cube_cfg};
+  Fixture n{naive_cfg};
+  const std::vector<std::string> workload{
+      "SELECT SUM(v) FROM s EVERY 1 EPOCHS",
+      "SELECT COUNT(v) FROM s EVERY 1 EPOCHS",
+      "SELECT MIN(v) FROM s EVERY 1 EPOCHS",
+      "SELECT AVG(v) FROM s EVERY 1 EPOCHS",
+  };
+  for (const auto& q : workload) {
+    ASSERT_TRUE(c.svc.submit(q).ok());
+    ASSERT_TRUE(n.svc.submit(q).ok());
+  }
+  for (int e = 0; e < 6; ++e) {
+    const std::vector<SensorUpdate> cu{c.drift(13, 2)};
+    const std::vector<SensorUpdate> nu{n.drift(13, 2)};
+    const auto ca = c.svc.run_epoch(cu);
+    const auto na = n.svc.run_epoch(nu);
+    ASSERT_EQ(ca.size(), na.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ca[i].value, na[i].value);
+    }
+  }
+  EXPECT_LT(c.net.summary(true).total_bits * 2,
+            n.net.summary(true).total_bits);
+  const TelemetrySnapshot snap = c.svc.telemetry_snapshot();
+  EXPECT_GT(snap.cube.refresh_waves, 0u);
+  EXPECT_GT(snap.cube.cell_edges_skipped, 0u);
+}
+
+TEST(QueryService, CubeStaleBracketsServeTolerantQueriesWithZeroBits) {
+  ServiceConfig cfg;
+  cfg.use_cube = true;
+  cfg.use_cache = false;  // isolate tier 2: no result-cache hits
+  Fixture f{cfg};
+  f.svc.submit("SELECT AVG(v) FROM s EVERY 1 EPOCHS ERROR 0.2").value();
+  const auto first = f.svc.run_epoch({});
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(first[0].exact);
+
+  const auto msgs_before = f.net.summary().total_messages;
+  for (int e = 0; e < 3; ++e) {
+    const std::vector<SensorUpdate> batch{f.drift(5, 2)};
+    const auto answers = f.svc.run_epoch(batch);
+    ASSERT_EQ(answers.size(), 1u);
+    EXPECT_FALSE(answers[0].from_cache);
+    EXPECT_GT(answers[0].error_bound, 0.0);
+    EXPECT_LE(std::abs(answers[0].value - f.exact("AVG", 0, kBound)),
+              answers[0].error_bound);
+  }
+  EXPECT_EQ(f.svc.telemetry().cube_stale_answers, 3u);
+  // Stale serves never touch the air: only the dirty marks cost messages.
+  EXPECT_LT(f.net.summary().total_messages - msgs_before, 3u * 36u);
+  EXPECT_GT(f.svc.telemetry_snapshot().cube.stale_serves, 0u);
+}
+
+TEST(QueryService, CubeServesDistinctFromMaintainedSketches) {
+  ServiceConfig cube_cfg;
+  cube_cfg.use_cube = true;
+  cube_cfg.cube_distinct_registers = 64;
+  cube_cfg.use_cache = false;
+  ServiceConfig naive_cfg;
+  naive_cfg.share_aggregation = false;
+  naive_cfg.use_cache = false;
+  Fixture c{cube_cfg};
+  Fixture n{naive_cfg};
+  // ERROR 0.15 sizes the plan to the cube's 64 registers, so the query is
+  // cube-eligible; the maintained sketches replicate the one-shot
+  // protocol's geometry, making the estimates byte-identical.
+  const char* q = "SELECT COUNT_DISTINCT(v) FROM s ERROR 0.15";
+  const auto ca = c.svc.submit(q);
+  const auto na = n.svc.submit(q);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(na.ok());
+  EXPECT_DOUBLE_EQ(ca.value().answer->value, na.value().answer->value);
+  EXPECT_EQ(c.svc.telemetry().cube_fresh_answers, 1u);
+}
+
 }  // namespace
 }  // namespace sensornet::service

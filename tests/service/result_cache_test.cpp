@@ -59,7 +59,7 @@ TEST(ResultCache, FreshEntryIsExactForWholeDomain) {
   ResultCache cache(kBound, kDelta, kHorizon);
   const query::RegionSignature whole{0, kBound, true};
   cache.store(whole, /*epoch=*/5, whole_bundle({10, 20, 30}));
-  const auto hit = cache.bracket(whole, query::AggKind::kSum, 5);
+  const auto hit = cache.bracket(whole, query::AggregateKind::kSum, 5);
   ASSERT_TRUE(hit.has_value());
   EXPECT_DOUBLE_EQ(hit->value, 60.0);
   EXPECT_DOUBLE_EQ(hit->bound, 0.0);
@@ -71,7 +71,7 @@ TEST(ResultCache, WholeDomainCountStaysExactForever) {
   ResultCache cache(kBound, kDelta, kHorizon);
   const query::RegionSignature whole{0, kBound, true};
   cache.store(whole, 1, whole_bundle({10, 20}));
-  const auto hit = cache.bracket(whole, query::AggKind::kCount, 1000);
+  const auto hit = cache.bracket(whole, query::AggregateKind::kCount, 1000);
   ASSERT_TRUE(hit.has_value());
   EXPECT_DOUBLE_EQ(hit->value, 2.0);
   EXPECT_TRUE(hit->exact);
@@ -83,12 +83,12 @@ TEST(ResultCache, WholeDomainBoundsGrowWithStaleness) {
   cache.store(whole, 10, whole_bundle({10, 20, 30}));
   for (const std::uint32_t s : {1u, 3u, 7u}) {
     const double d = static_cast<double>(s) * kDelta;
-    const auto sum = cache.bracket(whole, query::AggKind::kSum, 10 + s);
+    const auto sum = cache.bracket(whole, query::AggregateKind::kSum, 10 + s);
     ASSERT_TRUE(sum.has_value());
     EXPECT_DOUBLE_EQ(sum->bound, 3.0 * d);  // count * d
-    const auto avg = cache.bracket(whole, query::AggKind::kAvg, 10 + s);
+    const auto avg = cache.bracket(whole, query::AggregateKind::kAvg, 10 + s);
     EXPECT_DOUBLE_EQ(avg->bound, d);
-    const auto mn = cache.bracket(whole, query::AggKind::kMin, 10 + s);
+    const auto mn = cache.bracket(whole, query::AggregateKind::kMin, 10 + s);
     EXPECT_DOUBLE_EQ(mn->bound, d);
   }
 }
@@ -114,20 +114,20 @@ TEST(ResultCache, RangedBracketsContainAllReachableDrifts) {
         for (const Value v : vs) {
           if (v >= region.lo && v <= region.hi) truth.observe(v);
         }
-        const auto count = cache.bracket(region, query::AggKind::kCount, s);
+        const auto count = cache.bracket(region, query::AggregateKind::kCount, s);
         ASSERT_TRUE(count.has_value());
         EXPECT_LE(std::abs(count->value - static_cast<double>(truth.count)),
                   count->bound);
-        const auto sum = cache.bracket(region, query::AggKind::kSum, s);
+        const auto sum = cache.bracket(region, query::AggregateKind::kSum, s);
         EXPECT_LE(std::abs(sum->value - static_cast<double>(truth.sum)),
                   sum->bound);
         if (truth.count > 0) {
-          const auto mn = cache.bracket(region, query::AggKind::kMin, s);
+          const auto mn = cache.bracket(region, query::AggregateKind::kMin, s);
           if (mn) {
             EXPECT_LE(std::abs(mn->value - static_cast<double>(truth.min)),
                       mn->bound);
           }
-          const auto avg = cache.bracket(region, query::AggKind::kAvg, s);
+          const auto avg = cache.bracket(region, query::AggregateKind::kAvg, s);
           if (avg) {
             const double t = static_cast<double>(truth.sum) /
                              static_cast<double>(truth.count);
@@ -144,8 +144,8 @@ TEST(ResultCache, RangedEntriesExpirePastHorizon) {
   ResultCache cache(kBound, kDelta, kHorizon);
   cache.store(region, 10, ranged_bundle({50}, 40, 60));
   EXPECT_TRUE(
-      cache.bracket(region, query::AggKind::kCount, 10 + kHorizon).has_value());
-  EXPECT_FALSE(cache.bracket(region, query::AggKind::kCount, 11 + kHorizon)
+      cache.bracket(region, query::AggregateKind::kCount, 10 + kHorizon).has_value());
+  EXPECT_FALSE(cache.bracket(region, query::AggregateKind::kCount, 11 + kHorizon)
                    .has_value());
 }
 
@@ -155,36 +155,36 @@ TEST(ResultCache, LookupGatesOnEpsilon) {
   cache.store(whole, 0, whole_bundle({100, 200, 300}));
   // Staleness 2: AVG bound = 8 on a value of 200 -> relative error 4%.
   EXPECT_TRUE(
-      cache.lookup(whole, query::AggKind::kAvg, 0.05, 2).has_value());
+      cache.lookup(whole, query::AggregateKind::kAvg, 0.05, 2).has_value());
   EXPECT_FALSE(
-      cache.lookup(whole, query::AggKind::kAvg, 0.01, 2).has_value());
+      cache.lookup(whole, query::AggregateKind::kAvg, 0.01, 2).has_value());
   // No epsilon = exact required: hits only at zero staleness (or COUNT).
   EXPECT_FALSE(
-      cache.lookup(whole, query::AggKind::kAvg, std::nullopt, 2).has_value());
+      cache.lookup(whole, query::AggregateKind::kAvg, std::nullopt, 2).has_value());
   EXPECT_TRUE(
-      cache.lookup(whole, query::AggKind::kAvg, std::nullopt, 0).has_value());
+      cache.lookup(whole, query::AggregateKind::kAvg, std::nullopt, 0).has_value());
   EXPECT_TRUE(
-      cache.lookup(whole, query::AggKind::kCount, std::nullopt, 2).has_value());
+      cache.lookup(whole, query::AggregateKind::kCount, std::nullopt, 2).has_value());
 }
 
 TEST(ResultCache, NeverServesUnbracketableAggregates) {
   ResultCache cache(kBound, kDelta, kHorizon);
   const query::RegionSignature whole{0, kBound, true};
   cache.store(whole, 0, whole_bundle({1, 2, 3}));
-  EXPECT_FALSE(cache.bracket(whole, query::AggKind::kMedian, 0).has_value());
+  EXPECT_FALSE(cache.bracket(whole, query::AggregateKind::kMedian, 0).has_value());
   EXPECT_FALSE(
-      cache.bracket(whole, query::AggKind::kCountDistinct, 0).has_value());
+      cache.bracket(whole, query::AggregateKind::kCountDistinct, 0).has_value());
 }
 
 TEST(ResultCache, EmptySelectionsRefuseValueAggregates) {
   ResultCache cache(kBound, kDelta, kHorizon);
   const query::RegionSignature region{40, 60, false};
   cache.store(region, 0, ranged_bundle({5, 200}, 40, 60));
-  const auto count = cache.bracket(region, query::AggKind::kCount, 0);
+  const auto count = cache.bracket(region, query::AggregateKind::kCount, 0);
   ASSERT_TRUE(count.has_value());
   EXPECT_DOUBLE_EQ(count->value, 0.0);
-  EXPECT_FALSE(cache.bracket(region, query::AggKind::kMin, 0).has_value());
-  EXPECT_FALSE(cache.bracket(region, query::AggKind::kAvg, 0).has_value());
+  EXPECT_FALSE(cache.bracket(region, query::AggregateKind::kMin, 0).has_value());
+  EXPECT_FALSE(cache.bracket(region, query::AggregateKind::kAvg, 0).has_value());
 }
 
 TEST(ResultCache, EvictsStalestBeyondCapacity) {
@@ -196,9 +196,9 @@ TEST(ResultCache, EvictsStalestBeyondCapacity) {
   cache.store(r2, 5, ranged_bundle({5}, 2, 20));
   cache.store(r3, 6, ranged_bundle({5}, 3, 30));
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_FALSE(cache.bracket(r1, query::AggKind::kCount, 6).has_value());
-  EXPECT_TRUE(cache.bracket(r2, query::AggKind::kCount, 6).has_value());
-  EXPECT_TRUE(cache.bracket(r3, query::AggKind::kCount, 6).has_value());
+  EXPECT_FALSE(cache.bracket(r1, query::AggregateKind::kCount, 6).has_value());
+  EXPECT_TRUE(cache.bracket(r2, query::AggregateKind::kCount, 6).has_value());
+  EXPECT_TRUE(cache.bracket(r3, query::AggregateKind::kCount, 6).has_value());
 }
 
 }  // namespace
